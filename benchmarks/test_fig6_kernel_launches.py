@@ -1,0 +1,57 @@
+"""Figure 6 — kernel launch counts per pipeline and workload.
+
+The central mechanism claim: functionalization lets fusion collapse the
+launch count.  Assertions follow the paper's observations, including the
+§5.3 nuance that TensorSSA's counts need not beat TorchInductor's on
+every NLP task (it wins on time through control-flow and layout, not
+always on count).
+"""
+
+import pytest
+
+from conftest import BENCH_SIZES, PIPELINES, launches_of
+from repro.eval.harness import run_workload
+from repro.models import WORKLOADS
+
+WORKLOAD_NAMES = list(WORKLOADS)
+
+
+@pytest.fixture(scope="module")
+def launch_table():
+    return {w: {p: launches_of(w, p) for p in PIPELINES}
+            for w in WORKLOAD_NAMES}
+
+
+class TestFig6:
+    def test_tensorssa_launches_fewest_or_ties_inductor(self, launch_table):
+        for w, row in launch_table.items():
+            others = [row[p] for p in ("ts_nnc", "ts_nvfuser")]
+            assert row["tensorssa"] < min(others), (w, row)
+            assert row["tensorssa"] <= row["dynamo_inductor"], (w, row)
+
+    def test_everything_beats_eager(self, launch_table):
+        for w, row in launch_table.items():
+            for p in PIPELINES[1:]:
+                assert row[p] <= row["eager"], (w, p, row)
+
+    def test_nnc_at_most_nvfuser(self, launch_table):
+        # NNC's broader fusable set cannot do worse than nvFuser's
+        for w, row in launch_table.items():
+            assert row["ts_nnc"] <= row["ts_nvfuser"], (w, row)
+
+    @pytest.mark.parametrize("workload", ["ssd", "attention"])
+    def test_horizontal_collapses_loop_launches(self, workload):
+        """A loop that parallelizes horizontally costs ~1 launch no
+        matter the trip count."""
+        small = run_workload(workload, "tensorssa", seq_len=16,
+                             **{k: v for k, v in BENCH_SIZES.items()
+                                if k != "seq_len"})
+        large = run_workload(workload, "tensorssa", seq_len=64,
+                             **{k: v for k, v in BENCH_SIZES.items()
+                                if k != "seq_len"})
+        assert large.kernel_launches == small.kernel_launches
+
+    def test_eager_launch_counts_scale_with_seq(self):
+        small = run_workload("lstm", "eager", seq_len=16)
+        large = run_workload("lstm", "eager", seq_len=64)
+        assert large.kernel_launches > 3 * small.kernel_launches

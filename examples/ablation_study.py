@@ -1,0 +1,56 @@
+"""Ablation study: what each TensorSSA ingredient is worth.
+
+Disables the paper's §4.2 optimizations one at a time — and degrades the
+conversion itself to data-flow-only (what tracing compilers achieve) —
+to show where the speedup comes from on an RNN and a parallel-loop
+workload.
+
+Run:  python examples/ablation_study.py
+"""
+
+import repro.runtime as rt
+from repro.eval.harness import clone_args
+from repro.eval.platforms import DATACENTER
+from repro.models import get_workload
+from repro.pipelines import TensorSSAPipeline
+
+VARIANTS = [
+    ("full TensorSSA", dict()),
+    ("- horizontal parallelization", dict(horizontal=False)),
+    ("- vertical fusion", dict(vertical=False)),
+    ("- revert-to-mutable", dict(revert_unfused=False)),
+    ("data-flow-only (intra-block)", dict(intra_block_only=True)),
+]
+
+
+def measure(workload_name: str, **pipeline_kwargs):
+    wl = get_workload(workload_name)
+    pipe = TensorSSAPipeline(name="ablation", **pipeline_kwargs)
+    args = wl.make_inputs(batch_size=1, seq_len=32)
+    compiled = pipe.compile(wl.model_fn)
+    with rt.profile() as prof:
+        compiled(*clone_args(args))
+    return (DATACENTER.latency_us(prof, pipe.host_profile),
+            prof.num_launches)
+
+
+def main() -> None:
+    for workload in ("lstm", "attention", "ssd"):
+        print(f"=== {workload} (modeled latency, RTX 3090 platform)")
+        base_latency = None
+        for label, kwargs in VARIANTS:
+            latency, launches = measure(workload, **kwargs)
+            if base_latency is None:
+                base_latency = latency
+            print(f"  {label:32s} {latency:9.1f}us "
+                  f"{launches:5d} launches "
+                  f"({latency / base_latency:5.2f}x of full)")
+        print()
+    print("Reading: the row that hurts most is the ingredient doing the "
+          "work for\nthat workload — horizontal for parallel loops "
+          "(attention, ssd), the full\nholistic conversion everywhere "
+          "(the intra-block row).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Bring your own operator: optimizing *new* imperative code.
+
+The library is not tied to the paper's eight workloads.  This example
+writes a fresh domain-specific operator — exponential-moving-average
+smoothing with per-channel clamping, the kind of post-processing a
+tracking model might do — imperatively, then compiles it with the
+public pipeline API.
+
+Run:  python examples/custom_operator.py
+"""
+
+import numpy as np
+
+import repro.runtime as rt
+from repro.eval.platforms import DATACENTER
+from repro.pipelines import TensorSSAPipeline, TorchScriptNNCPipeline
+
+
+def ema_smooth(track, detections, alpha: float, n: int):
+    """Blend ``n`` detection frames into a running track buffer.
+
+    track: (K, 4) box state, mutated in place (callers keep a handle!).
+    detections: (n, K, 4) per-frame boxes.
+    """
+    for t in range(n):
+        frame = detections[t]
+        blended = track * (1.0 - alpha) + frame * alpha
+        track[:, 0:2] = blended[:, 0:2]
+        track[:, 2:4] = blended[:, 2:4].clamp(0.0, 1.0)
+    return track.sum(1)
+
+
+def main() -> None:
+    k, n = 64, 12
+    track = rt.rand((k, 4), seed=1)
+    detections = rt.rand((n, k, 4), seed=2)
+
+    expected = ema_smooth(track.clone(), detections, 0.3, n)
+
+    results = {}
+    for pipeline in (TorchScriptNNCPipeline(), TensorSSAPipeline()):
+        compiled = pipeline.compile(ema_smooth)
+        with rt.profile() as prof:
+            got = compiled(track.clone(), detections, 0.3, n)
+        np.testing.assert_allclose(got.numpy(), expected.numpy(),
+                                   rtol=1e-5)
+        results[pipeline.name] = (
+            prof.num_launches,
+            DATACENTER.latency_us(prof, pipeline.host_profile))
+        print(f"{pipeline.name:12s} launches={prof.num_launches:4d} "
+              f"modeled latency={results[pipeline.name][1]:8.1f}us "
+              f"stats={compiled.stats.get('pass_results', {})}")
+
+    ts, ours = results["ts_nnc"], results["tensorssa"]
+    print(f"\nTensorSSA vs TorchScript+NNC on your operator: "
+          f"{ts[1] / ours[1]:.2f}x faster, "
+          f"{ts[0] / max(ours[0], 1):.1f}x fewer launches")
+
+    # In-place semantics survive compilation: the caller's track buffer
+    # is updated by the compiled function exactly as in eager mode.
+    compiled = TensorSSAPipeline().compile(ema_smooth)
+    mine = track.clone()
+    compiled(mine, detections, 0.3, n)
+    reference = track.clone()
+    ema_smooth(reference, detections, 0.3, n)
+    np.testing.assert_allclose(mine.numpy(), reference.numpy(), rtol=1e-5)
+    print("caller-visible buffer mutation preserved ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""NLP recurrent loops: where holistic functionalization shines.
+
+LSTM inference writes each step's hidden state into an output buffer —
+a mutation *through a view, inside a loop*.  Baseline compilers treat it
+as a fusion barrier; TensorSSA converts it (crossing the loop boundary
+via block propagation) and fuses the whole cell body.
+
+Run:  python examples/nlp_loop_fusion.py
+"""
+
+from repro.eval.harness import run_workload
+
+SEQ_LENS = (16, 32, 64, 128)
+PIPELINES = ("eager", "ts_nnc", "dynamo_inductor", "tensorssa")
+
+
+def main() -> None:
+    print("LSTM inference latency (modeled, RTX 3090 platform), ms")
+    header = "seq_len " + "".join(f"{p:>17s}" for p in PIPELINES)
+    print(header)
+    print("-" * len(header))
+    for seq_len in SEQ_LENS:
+        cells = []
+        for pipe in PIPELINES:
+            res = run_workload("lstm", pipe, seq_len=seq_len)
+            cells.append(f"{res.latency_ms:17.3f}")
+        print(f"{seq_len:7d} " + "".join(cells))
+
+    print("\nkernel launches at seq_len=64:")
+    for pipe in PIPELINES:
+        res = run_workload("lstm", pipe, seq_len=64)
+        print(f"  {pipe:16s} {res.kernel_launches:5d} launches "
+              f"({res.fused_ops} logical ops executed)")
+
+    print("\nNote the tracing baseline (dynamo_inductor) matching ours "
+          "at short lengths\n(it unrolls the loop) and degrading past "
+          "its unroll budget — the paper's\nFigure 8 crossover.")
+
+
+if __name__ == "__main__":
+    main()

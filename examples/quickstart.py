@@ -1,0 +1,55 @@
+"""Quickstart: functionalize and optimize an imperative tensor program.
+
+Reproduces the paper's running example (Figure 4): a loop that mutates
+a tensor row by row through views.  We script it, show the IR before
+and after TensorSSA conversion, optimize, and compare kernel launches.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro.runtime as rt
+from repro.frontend import script
+from repro.ir import clone_graph, print_graph
+from repro.passes import FuserConfig, dce, fuse, parallelize_loops
+from repro.tensorssa import convert_to_tensorssa
+from repro.backend import run_graph
+
+
+def increment_rows(b, n: int):
+    """The paper's Figure 4(a): partial mutation inside a loop."""
+    b = b.clone()
+    for i in range(n):
+        b[i] = b[i] + 1.0
+    return b
+
+
+def main() -> None:
+    scripted = script(increment_rows)
+    print("=== Graph-level IR (TorchScript-style, mutation intact) ===")
+    print(print_graph(scripted.graph))
+
+    graph = clone_graph(scripted.graph)
+    report = convert_to_tensorssa(graph)
+    dce(graph)
+    print("\n=== After TensorSSA conversion (paper Algorithm 1) ===")
+    print(print_graph(graph))
+    print(f"\nfunctionalized mutations: {report.rewritten}")
+
+    n_parallel = parallelize_loops(graph)
+    n_groups = fuse(graph, FuserConfig(name="demo", fuse_views=True))
+    print(f"horizontal loops: {n_parallel}, fusion groups: {n_groups}")
+
+    x = rt.tensor([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    with rt.profile() as eager_prof:
+        expected = increment_rows(x, 3)
+    with rt.profile() as opt_prof:
+        got = run_graph(graph, [x, 3])[0]
+
+    assert (got.numpy() == expected.numpy()).all()
+    print(f"\neager launches:     {eager_prof.num_launches}")
+    print(f"optimized launches: {opt_prof.num_launches}")
+    print(f"result:\n{got.numpy()}")
+
+
+if __name__ == "__main__":
+    main()

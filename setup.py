@@ -1,0 +1,4 @@
+"""Legacy shim so `pip install -e .` works offline without wheel/PEP 660."""
+from setuptools import setup
+
+setup()

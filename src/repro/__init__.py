@@ -1,0 +1,18 @@
+"""TensorSSA reproduction: holistic functionalization of imperative
+tensor programs (DAC 2024).
+
+Public surface:
+
+* :mod:`repro.runtime`   -- imperative tensor substrate (views, mutation).
+* :mod:`repro.frontend`  -- ``script()``: Python AST -> graph-level IR.
+* :mod:`repro.tensorssa` -- the TensorSSA conversion (paper Algorithm 1).
+* :mod:`repro.pipelines` -- eager + 4 compiler pipelines (ours & baselines).
+* :mod:`repro.models`    -- the eight paper workloads.
+* :mod:`repro.eval`      -- figure/table harness (Figs. 5-8).
+"""
+
+__version__ = "0.1.0"
+
+from . import runtime
+
+__all__ = ["runtime", "__version__"]

@@ -1,0 +1,7 @@
+"""repro.analysis — alias analysis, dominance, liveness."""
+
+from .alias import CONTAINER, CONTROL, MEMORY, AliasGraph, Mutation, TSet
+from .dominance import node_dominates, value_dominates
+
+__all__ = ["AliasGraph", "TSet", "Mutation", "MEMORY", "CONTROL",
+           "CONTAINER", "node_dominates", "value_dominates"]

@@ -1,0 +1,60 @@
+"""Dominance on block-structured IR.
+
+Because the IR is structured (no arbitrary CFG), dominance reduces to:
+``A`` dominates ``B`` iff ``A``'s owning block is ``B``'s block or an
+ancestor of it, and ``A`` precedes (in its own block) the node of that
+block which (transitively) contains ``B``.
+
+Used by the TensorSSA pass-down step: a view statement is re-accessed at
+a mutation site only if it *dominates* the mutation (Algorithm 1 line 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.graph import Block, Node, Value
+
+
+def enclosing_node_in_block(node: Node, block: Block) -> Optional[Node]:
+    """The ancestor of ``node`` (possibly itself) that sits directly in
+    ``block``, or None when ``node`` is not nested inside ``block``."""
+    current: Optional[Node] = node
+    while current is not None:
+        owner = current.owning_block
+        if owner is block:
+            return current
+        current = owner.owning_node if owner is not None else None
+    return None
+
+
+def node_dominates(a: Node, b: Node) -> bool:
+    """Does statement ``a`` dominate statement ``b``?"""
+    if a is b:
+        return True
+    anchor = enclosing_node_in_block(b, a.owning_block)
+    if anchor is None:
+        return False
+    if anchor is a:
+        # a *contains* b (b is inside one of a's blocks): a control node
+        # does not dominate its own body in the statement-order sense we
+        # need (its body runs as part of it).  Treat as containment.
+        return True
+    return a.is_before(anchor)
+
+
+def value_dominates(value: Value, node: Node) -> bool:
+    """Is ``value`` available (defined) at statement ``node``?"""
+    if value.is_param:
+        block = value.param_block
+        current: Optional[Node] = node
+        while current is not None:
+            if current.owning_block is block:
+                return True
+            owner = current.owning_block
+            current = owner.owning_node if owner is not None else None
+        return False
+    assert value.node is not None
+    if value.node is node:
+        return False
+    return node_dominates(value.node, node)

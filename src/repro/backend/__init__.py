@@ -1,0 +1,8 @@
+"""repro.backend — interpreter, kernel codegen, fusion runtime."""
+
+from .codegen import CodegenError, compile_block
+from .interpreter import InterpreterError, run_graph
+from .kernels import OP_IMPLS
+
+__all__ = ["run_graph", "InterpreterError", "compile_block",
+           "CodegenError", "OP_IMPLS"]

@@ -1,0 +1,107 @@
+"""Kernel code generation: a block of fusable ops -> one Python callable.
+
+This plays the role of PyTorch NNC in the paper's stack: a fusion
+group's body is lowered to straight-line code over numpy arrays and
+compiled once (``compile``/``exec``), so executing the group costs a
+single host call — one "kernel launch".
+
+Generated source for a two-op group looks like::
+
+    def _kernel(_args):
+        v_b, v_i = _args
+        t0 = _OPS['immut::select'](v_b, 0, v_i)
+        t1 = _OPS['aten::add'](t0, 1)
+        return (t1,)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..ir.graph import Block, Value
+from .kernels import OP_IMPLS
+
+
+class CodegenError(RuntimeError):
+    """Raised when a fusion-group body contains an op the kernel codegen cannot compile."""
+    pass
+
+
+def _const_literal(value) -> str:
+    if isinstance(value, (int, float, bool)) or value is None:
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return repr(value)
+    raise CodegenError(f"cannot inline constant {value!r}")
+
+
+def compile_block(block: Block, name: str = "_kernel",
+                  extra_inputs: Sequence[Value] = ()) -> Callable:
+    """Compile a fusion-group body into ``fn(args) -> tuple``.
+
+    ``args`` must follow ``block.params`` order, then ``extra_inputs``
+    (free values captured from enclosing scopes — used by horizontal
+    loops).  Non-inlinable constants (tensors, dtypes) are captured by
+    object reference.
+    """
+    names: Dict[int, str] = {}
+    lines: List[str] = []
+    captured: Dict[str, object] = {}
+
+    params = list(block.params) + list(extra_inputs)
+    for i, p in enumerate(params):
+        names[id(p)] = f"v{i}"
+    unpack = ", ".join(names[id(p)] for p in params)
+    if params:
+        lines.append(f"    {unpack}{',' if len(params) == 1 else ''}"
+                     f" = _args")
+
+    tmp = 0
+    for node in block.nodes:
+        if node.op == "prim::Constant":
+            value = node.attrs["value"]
+            try:
+                names[id(node.output())] = _const_literal(value)
+            except CodegenError:
+                cname = f"_c{len(captured)}"
+                captured[cname] = value
+                names[id(node.output())] = cname
+            continue
+        if node.op not in OP_IMPLS:
+            raise CodegenError(f"op {node.op} is not compilable")
+        args = ", ".join(_name_of(names, v) for v in node.inputs)
+        out = f"t{tmp}"
+        tmp += 1
+        names[id(node.output())] = out
+        lines.append(f"    {out} = _OPS[{node.op!r}]({args})")
+
+    rets = ", ".join(_name_of(names, r) for r in block.returns)
+    lines.append(f"    return ({rets}{',' if len(block.returns) == 1 else ''})")
+
+    source = f"def {name}(_args):\n" + "\n".join(lines) + "\n"
+    scope = {"_OPS": OP_IMPLS, **captured}
+    code = compile(source, f"<fusion:{name}>", "exec")
+    exec(code, scope)  # noqa: S102 - JIT compilation of our own source
+    fn = scope[name]
+    fn.__source__ = source
+    return fn
+
+
+def _name_of(names: Dict[int, str], v: Value) -> str:
+    try:
+        return names[id(v)]
+    except KeyError:
+        raise CodegenError(f"value %{v.name} not available inside the "
+                           f"fusion group (not a param, member output, "
+                           f"or constant)") from None
+
+
+def estimate_group_cost(block: Block,
+                        inputs: Sequence[object]) -> Dict[str, int]:
+    """Rough bytes/flops for one group launch, for the cost model."""
+    from ..runtime.tensor import Tensor
+    nbytes = sum(t.nbytes for t in inputs if isinstance(t, Tensor))
+    n_ops = sum(1 for n in block.nodes if n.op != "prim::Constant")
+    return {"bytes": nbytes, "ops": n_ops}

@@ -1,0 +1,7 @@
+"""repro.eval — measurement harness, cost model, figure regenerators."""
+
+from .harness import RunResult, run_workload, speedup_over_eager
+from .platforms import CONSUMER, DATACENTER, PLATFORMS, Platform, get_platform
+
+__all__ = ["run_workload", "speedup_over_eager", "RunResult", "Platform",
+           "PLATFORMS", "CONSUMER", "DATACENTER", "get_platform"]

@@ -1,0 +1,88 @@
+"""Export figure data as machine-readable artifacts.
+
+``python -m repro.eval.export [outdir]`` writes one JSON file per
+figure plus a combined ``summary.json`` (headline numbers), so plots and
+regression dashboards can consume the reproduction without re-running
+the sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict
+
+from . import figures
+from .report import geomean
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def collect_all(fig7: bool = True, fig8: bool = True) -> Dict[str, object]:
+    """Run every figure sweep (quietly) and gather the raw data."""
+    data: Dict[str, object] = {
+        "fig5": figures.fig5(echo=False),
+        "fig6": figures.fig6(echo=False),
+        "intro_fraction": figures.intro_fraction(echo=False),
+    }
+    if fig7:
+        data["fig7"] = figures.fig7(echo=False)
+    if fig8:
+        data["fig8"] = figures.fig8(echo=False)
+    data["summary"] = summarize(data)
+    return data
+
+
+def summarize(data: Dict[str, object]) -> Dict[str, float]:
+    """The §5.2 headline numbers from collected figure data."""
+    ratios = []
+    for plat_grid in data["fig5"].values():
+        for speedups in plat_grid.values():
+            best_baseline = max(
+                v for k, v in speedups.items() if k != "tensorssa")
+            ratios.append(speedups["tensorssa"] / best_baseline)
+    return {
+        "max_speedup_vs_best_baseline": max(ratios),
+        "geomean_speedup_vs_best_baseline": geomean(ratios),
+        "paper_max": 1.79,
+        "paper_average": 1.34,
+        "workload_platform_cells": len(ratios),
+        "max_imperative_fraction": max(data["intro_fraction"].values()),
+    }
+
+
+def write_artifacts(outdir: str, data: Dict[str, object]) -> list:
+    """Write each top-level entry of ``data`` to ``outdir/<name>.json``."""
+    os.makedirs(outdir, exist_ok=True)
+    written = []
+    for name, payload in data.items():
+        path = os.path.join(outdir, f"{name}.json")
+        with open(path, "w") as fh:
+            json.dump(_jsonable(payload), fh, indent=2, sort_keys=True)
+        written.append(path)
+    return written
+
+
+def main(argv) -> None:
+    """CLI entry point."""
+    outdir = argv[0] if argv else "results"
+    data = collect_all()
+    for path in write_artifacts(outdir, data):
+        print(f"wrote {path}")
+    summary = data["summary"]
+    print(f"headline: up to "
+          f"{summary['max_speedup_vs_best_baseline']:.2f}x "
+          f"(geomean {summary['geomean_speedup_vs_best_baseline']:.2f}x) "
+          f"vs best baseline "
+          f"[paper: {summary['paper_max']}x / {summary['paper_average']}x]")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,132 @@
+"""Measurement harness: compile, execute under the profiler, and price
+the run on a platform's cost model.
+
+``run_workload`` is the single entry point the figures and the
+pytest-benchmark suites share.  Compilation is cached per
+(pipeline, workload), and runs verify numerical equivalence against
+eager on demand.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+import repro.runtime as rt
+from ..models import Workload, get_workload
+from ..pipelines import Pipeline, get_pipeline
+from ..pipelines.base import Compiled
+from .platforms import Platform, get_platform
+
+_compile_cache: Dict[Tuple[str, str], Compiled] = {}
+
+
+@dataclass
+class RunResult:
+    workload: str
+    pipeline: str
+    platform: str
+    batch_size: int
+    seq_len: int
+    latency_us: float
+    device_us: float
+    host_us: float
+    kernel_launches: int
+    fused_ops: int
+    wallclock_s: Optional[float] = None
+    outputs: tuple = field(default=(), repr=False)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / 1000.0
+
+
+def clone_args(args) -> tuple:
+    """Deep-copy tensor arguments so runs never share mutable inputs."""
+    return tuple(a.clone() if isinstance(a, rt.Tensor) else a for a in args)
+
+
+def compile_cached(pipeline: Pipeline, workload: Workload,
+                   example_args=None) -> Compiled:
+    """Compile (or fetch) a pipeline/workload pair; tracing pipelines key on input shapes."""
+    key = (pipeline.name, workload.name)
+    if pipeline.needs_example_inputs and example_args is not None:
+        shapes = tuple(
+            tuple(a.shape) if isinstance(a, rt.Tensor) else a
+            for a in example_args)
+        key = key + (shapes,)
+    if key not in _compile_cache:
+        _compile_cache[key] = pipeline.compile(workload.model_fn,
+                                               example_args=example_args)
+    return _compile_cache[key]
+
+
+def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
+                 batch_size: int = 1, seq_len: int = 64, seed: int = 0,
+                 check: bool = False, measure_wallclock: bool = False,
+                 repeats: int = 3) -> RunResult:
+    """Execute one (workload, pipeline) pair and price it."""
+    wl = get_workload(workload)
+    pipe = get_pipeline(pipeline)
+    plat: Platform = get_platform(platform)
+    args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len, seed=seed)
+    compiled = compile_cached(pipe, wl, example_args=args)
+
+    with rt.profile() as prof:
+        outputs = compiled(*clone_args(args))
+
+    if check:
+        expected = wl.model_fn(*clone_args(args))
+        _assert_equal(outputs, expected, workload, pipeline)
+
+    wallclock = None
+    if measure_wallclock:
+        best = float("inf")
+        for _ in range(repeats):
+            run_args = clone_args(args)
+            start = time.perf_counter()
+            compiled(*run_args)
+            best = min(best, time.perf_counter() - start)
+        wallclock = best
+
+    return RunResult(
+        workload=workload, pipeline=pipeline, platform=platform,
+        batch_size=batch_size, seq_len=seq_len,
+        latency_us=plat.latency_us(prof, pipe.host_profile,
+                                   pipe.device_penalty),
+        device_us=plat.device_time_us(prof, pipe.device_penalty),
+        host_us=plat.host_time_us(prof, pipe.host_profile),
+        kernel_launches=prof.num_launches,
+        fused_ops=sum(e.fused_ops for e in prof.events),
+        wallclock_s=wallclock,
+        outputs=outputs if isinstance(outputs, tuple) else (outputs,),
+    )
+
+
+def speedup_over_eager(workload: str, pipeline: str, **kwargs) -> float:
+    """Eager latency divided by ``pipeline`` latency for one workload."""
+    base = run_workload(workload, "eager", **kwargs)
+    opt = run_workload(workload, pipeline, **kwargs)
+    return base.latency_us / opt.latency_us
+
+
+def _assert_equal(got, expected, workload: str, pipeline: str) -> None:
+    got = got if isinstance(got, tuple) else (got,)
+    expected = expected if isinstance(expected, tuple) else (expected,)
+    assert len(got) == len(expected), \
+        f"{workload}/{pipeline}: output arity mismatch"
+    for i, (g, e) in enumerate(zip(got, expected)):
+        ga = g.numpy() if isinstance(g, rt.Tensor) else np.asarray(g)
+        ea = e.numpy() if isinstance(e, rt.Tensor) else np.asarray(e)
+        np.testing.assert_allclose(
+            ga.astype(np.float64), ea.astype(np.float64),
+            rtol=1e-4, atol=1e-5,
+            err_msg=f"{workload}/{pipeline}: output {i} diverges")
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached compilations (tests isolate through this)."""
+    _compile_cache.clear()

@@ -1,0 +1,111 @@
+"""Analytical device/host cost model (the paper's two platforms).
+
+We have no GPUs, so figures are produced under a deterministic latency
+model over the recorded kernel events:
+
+* **device time** — per launch: fixed launch overhead plus
+  ``max(bytes / bandwidth, flops / peak)`` (memory- vs compute-bound);
+* **host time** — per-pipeline dispatch costs: eager framework dispatch
+  per op, TorchScript interpreter steps, or TorchDynamo graph-break
+  costs for control flow executed in Python (paper §5.3);
+* **latency** — ``max(host, device)``: launches are asynchronous, so a
+  launch-bound program is gated by whichever side is slower.
+
+Parameters are calibrated to the public specs of the paper's machines
+(GTX 1660 Ti + i7 "consumer"; RTX 3090 + Xeon 8369B "data center") and
+to typical CUDA launch overheads; EXPERIMENTS.md reports how the modeled
+*shapes* compare to the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..runtime.profiler import Profile
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One evaluation machine."""
+
+    name: str
+    label: str
+    bandwidth_gb_s: float     # device memory bandwidth
+    peak_gflops: float        # fp32 throughput
+    launch_overhead_us: float  # per kernel launch (driver + queue)
+    host_costs_us: Dict[str, float] = field(default_factory=dict)
+
+    def device_time_us(self, profile: Profile,
+                       device_penalty: float = 1.0) -> float:
+        total = 0.0
+        for ev in profile.events:
+            mem_us = ev.bytes / (self.bandwidth_gb_s * 1e3)
+            compute_us = ev.flops / (self.peak_gflops * 1e3)
+            total += (self.launch_overhead_us
+                      + max(mem_us, compute_us) * device_penalty)
+        return total
+
+    def host_time_us(self, profile: Profile, host_profile: str) -> float:
+        costs = self.host_costs_us[host_profile]
+        total = 0.0
+        if host_profile == "eager":
+            # every op call pays full framework dispatch (Python,
+            # autograd bookkeeping, type dispatch)
+            total += profile.num_launches * costs["per_launch"]
+        for ev in profile.python_events:
+            total += costs.get(ev.kind, 0.0) * ev.count
+        return total
+
+    def latency_us(self, profile: Profile,
+                   host_profile: str = "interpreter",
+                   device_penalty: float = 1.0) -> float:
+        return max(self.device_time_us(profile, device_penalty),
+                   self.host_time_us(profile, host_profile))
+
+
+CONSUMER = Platform(
+    name="consumer",
+    label="GTX 1660 Ti (6GB) + Core i7-11700",
+    bandwidth_gb_s=288.0,
+    peak_gflops=5_437.0,
+    launch_overhead_us=9.0,
+    host_costs_us={
+        # PyTorch eager: full framework dispatch per op call, plus a
+        # queue drain whenever a scalar is read back
+        "eager": {"per_launch": 14.0, "scalar_sync": 14.0},
+        # TorchScript interpreter: per-node dispatch + loop bookkeeping
+        "interpreter": {"interp_op": 1.6, "loop_iter": 2.5,
+                        "branch": 1.8, "scalar_sync": 14.0},
+        # Dynamo/Inductor: generated code (cheap per op); guard
+        # evaluation per call, a Python re-entry per un-unrolled loop
+        # iteration, and a full graph break on every scalar read
+        "python": {"interp_op": 0.5, "loop_iter": 22.0, "branch": 22.0,
+                   "guard_eval": 40.0, "scalar_sync": 22.0},
+    },
+)
+
+DATACENTER = Platform(
+    name="datacenter",
+    label="RTX 3090 (24GB) + Xeon Platinum 8369B",
+    bandwidth_gb_s=936.0,
+    peak_gflops=35_580.0,
+    launch_overhead_us=6.0,
+    host_costs_us={
+        "eager": {"per_launch": 10.0, "scalar_sync": 10.0},
+        "interpreter": {"interp_op": 1.1, "loop_iter": 1.8,
+                        "branch": 1.3, "scalar_sync": 10.0},
+        "python": {"interp_op": 0.35, "loop_iter": 15.0, "branch": 15.0,
+                   "guard_eval": 28.0, "scalar_sync": 15.0},
+    },
+)
+
+PLATFORMS: Dict[str, Platform] = {p.name: p for p in (CONSUMER, DATACENTER)}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform config by name ('consumer' / 'datacenter')."""
+    if name not in PLATFORMS:
+        raise KeyError(f"unknown platform {name!r}; "
+                       f"choose from {sorted(PLATFORMS)}")
+    return PLATFORMS[name]

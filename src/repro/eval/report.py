@@ -1,0 +1,43 @@
+"""Plain-text table rendering for figure data (terminal-friendly)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, col_headers: Sequence[str],
+                 rows: Sequence[Sequence], row_headers: Sequence[str],
+                 fmt: str = "{:.2f}") -> str:
+    """Render a labelled grid; numeric cells formatted with ``fmt``."""
+    def cell(x) -> str:
+        if isinstance(x, float):
+            return fmt.format(x)
+        return str(x)
+
+    header_cells = [""] + [str(h) for h in col_headers]
+    body = [[str(rh)] + [cell(c) for c in row]
+            for rh, row in zip(row_headers, rows)]
+    widths = [max(len(r[i]) for r in [header_cells] + body)
+              for i in range(len(header_cells))]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header_cells, widths)))
+    for r in body:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean of a list of ratios."""
+    if not values:
+        return float("nan")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def summarize_speedups(speedups: Dict[str, float]) -> str:
+    """One-line max/geomean summary of a name->speedup mapping."""
+    vals = list(speedups.values())
+    return (f"max speedup {max(vals):.2f}x, "
+            f"geomean {geomean(vals):.2f}x over {len(vals)} workloads")

@@ -1,0 +1,6 @@
+"""repro.frontend — scripting: Python AST -> graph-level IR."""
+
+from .errors import ScriptError
+from .script import ScriptedFunction, script
+
+__all__ = ["script", "ScriptedFunction", "ScriptError"]

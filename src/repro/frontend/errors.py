@@ -1,0 +1,24 @@
+"""Frontend diagnostics with source locations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+class ScriptError(Exception):
+    """Raised when a Python construct is outside the scriptable subset."""
+
+    def __init__(self, message: str, node: Optional[ast.AST] = None,
+                 source_name: str = "<scripted>") -> None:
+        loc = ""
+        if node is not None and hasattr(node, "lineno"):
+            loc = f" ({source_name}:{node.lineno})"
+        super().__init__(message + loc)
+        self.node = node
+
+
+def unsupported(what: str, node: ast.AST, source_name: str) -> ScriptError:
+    """Build a ScriptError for a construct outside the scripted subset."""
+    return ScriptError(f"unsupported in scripted code: {what}", node,
+                       source_name)

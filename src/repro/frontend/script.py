@@ -1,0 +1,56 @@
+"""``script()``: capture a Python function as graph-level IR."""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from ..ir import verify
+from ..ir.graph import Graph
+from .lowering import Lowerer
+
+
+class ScriptedFunction:
+    """A captured imperative tensor program.
+
+    Holds the original Python callable plus its graph-level IR.  Calling
+    it executes the IR with the reference interpreter, which must agree
+    with eager execution of ``fn`` — tests rely on that equivalence.
+    """
+
+    def __init__(self, fn: Callable, graph: Graph) -> None:
+        self.fn = fn
+        self.graph = graph
+        functools.update_wrapper(self, fn)
+
+    def __call__(self, *args):
+        from ..backend.interpreter import run_graph
+        outs = run_graph(self.graph, args)
+        if len(outs) == 1:
+            return outs[0]
+        return tuple(outs)
+
+    def __repr__(self) -> str:
+        from ..ir import print_graph
+        return print_graph(self.graph)
+
+
+def script(fn: Optional[Callable] = None, *, name: Optional[str] = None):
+    """Decorator/function: lower ``fn`` to graph-level IR.
+
+    Usage::
+
+        @script
+        def post(x: Tensor, n: int):
+            ...
+
+        scripted = script(post)  # equivalent
+    """
+    def build(f: Callable) -> ScriptedFunction:
+        graph = Lowerer(f, name=name).run()
+        verify(graph)
+        return ScriptedFunction(f, graph)
+
+    if fn is None:
+        return build
+    return build(fn)

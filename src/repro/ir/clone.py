@@ -1,0 +1,42 @@
+"""Deep-cloning of graphs and blocks (pipelines transform private copies)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .graph import Block, Graph, Node, Value
+
+
+def _clone_node(node: Node, into: Block, graph: Graph,
+                vmap: Dict[int, Value]) -> Node:
+    new = Node(node.op, graph)
+    new.attrs = dict(node.attrs)
+    for v in node.inputs:
+        new.add_input(vmap[id(v)])
+    for out in node.outputs:
+        new_out = new.add_output(out.name.split(".")[0], out.type)
+        vmap[id(out)] = new_out
+    into.append(new)
+    for block in node.blocks:
+        new_block = new.add_block()
+        _clone_block_contents(block, new_block, graph, vmap)
+    return new
+
+
+def _clone_block_contents(src: Block, dst: Block, graph: Graph,
+                          vmap: Dict[int, Value]) -> None:
+    for p in src.params:
+        vmap[id(p)] = dst.add_param(p.name.split(".")[0], p.type)
+    for node in src.nodes:
+        _clone_node(node, dst, graph, vmap)
+    for r in src.returns:
+        dst.add_return(vmap[id(r)])
+
+
+def clone_graph(graph: Graph,
+                name: Optional[str] = None) -> Graph:
+    """A structurally identical deep copy with fresh Values."""
+    new = Graph(name or graph.name)
+    vmap: Dict[int, Value] = {}
+    _clone_block_contents(graph.block, new.block, new, vmap)
+    return new

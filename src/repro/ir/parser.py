@@ -1,0 +1,218 @@
+"""Parser for the textual IR format emitted by :mod:`repro.ir.printer`.
+
+Round-trips with the printer (``parse(print_graph(g))`` is structurally
+identical to ``g``), which makes it easy to write passes tests from IR
+literals instead of building graphs node by node.
+
+Grammar (line-oriented, indentation-insensitive except block structure):
+
+    graph NAME(%p : Type, ...):
+      %out, ... = ns::op(%in, ...)
+      %c = prim::Constant[value=<python literal>]()
+      %outs = prim::Loop(%ins)
+        block0(%params):
+          ...
+          -> (%returns)
+      return (%outs)
+
+Tensor-valued constants cannot be expressed textually and raise.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+import re
+from typing import Dict, List, Tuple
+
+from . import types as T
+from .graph import Graph, Node, Value
+
+
+class IRParseError(ValueError):
+    """Raised on malformed textual IR."""
+    pass
+
+
+_TYPE_ATOMS = {
+    "Tensor": T.TensorType, "Int": T.IntType, "Float": T.FloatType,
+    "Bool": T.BoolType, "Str": T.StrType, "None": T.NoneType,
+    "Any": T.AnyType,
+}
+
+_HEADER_RE = re.compile(r"^graph\s+(\S+)\((.*)\):$")
+_NODE_RE = re.compile(
+    r"^(?:(?P<outs>%[^=]+?)\s*=\s*)?(?P<op>[\w:]+)"
+    r"(?:\[value=(?P<const>.*)\])?\((?P<ins>.*)\)$")
+_BLOCK_RE = re.compile(r"^block\d+\((?P<params>.*)\):$")
+_RETURNS_RE = re.compile(r"^->\s*\((?P<rets>.*)\)$")
+_GRAPH_RETURN_RE = re.compile(r"^return\s*\((?P<rets>.*)\)$")
+
+
+def _parse_type(text: str) -> T.Type:
+    text = text.strip()
+    if text.startswith("Tensor"):
+        m = re.match(r"Tensor(?:<(\w+)>)?(\[[\d,\s]*\])?$", text)
+        if not m:
+            raise IRParseError(f"bad tensor type: {text!r}")
+        dtype = m.group(1)
+        shape = tuple(pyast.literal_eval(m.group(2))) if m.group(2) \
+            else None
+        return T.TensorType(dtype, shape)
+    if text.startswith("List["):
+        return T.ListType(_parse_type(text[5:-1]))
+    if text.startswith("Tuple["):
+        inner = text[6:-1]
+        elems = [_parse_type(e) for e in _split_commas(inner)] \
+            if inner else []
+        return T.TupleType(elems)
+    if text in _TYPE_ATOMS:
+        return _TYPE_ATOMS[text]()
+    raise IRParseError(f"unknown type: {text!r}")
+
+
+def _split_commas(text: str) -> List[str]:
+    """Split on top-level commas (respects [] and () nesting)."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    tail = text[start:].strip()
+    if tail:
+        parts.append(tail)
+    return [p.strip() for p in parts]
+
+
+def _value_names(text: str) -> List[str]:
+    names = []
+    for part in _split_commas(text):
+        if not part.startswith("%"):
+            raise IRParseError(f"expected %value, got {part!r}")
+        names.append(part[1:])
+    return names
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.lines = [ln.strip() for ln in text.strip().splitlines()
+                      if ln.strip()]
+        self.pos = 0
+        self.values: Dict[str, Value] = {}
+
+    def peek(self) -> str:
+        return self.lines[self.pos] if self.pos < len(self.lines) else ""
+
+    def advance(self) -> str:
+        line = self.lines[self.pos]
+        self.pos += 1
+        return line
+
+    def lookup(self, name: str) -> Value:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise IRParseError(f"use of undefined value %{name}") from None
+
+    def bind(self, name: str, value: Value) -> None:
+        value.name = name
+        self.values[name] = value
+
+    def parse(self) -> Graph:
+        header = _HEADER_RE.match(self.advance())
+        if not header:
+            raise IRParseError("expected `graph name(...):` header")
+        graph = Graph(header.group(1))
+        for param in _split_commas(header.group(2)):
+            if not param:
+                continue
+            name_part, _, type_part = param.partition(":")
+            name = name_part.strip().lstrip("%")
+            value = graph.add_input(name.split(".")[0],
+                                    _parse_type(type_part))
+            self.bind(name, value)
+        self.parse_block_body(graph.block, graph, top=True)
+        return graph
+
+    def parse_block_body(self, block, graph: Graph, top: bool) -> None:
+        while self.pos < len(self.lines):
+            line = self.peek()
+            if top:
+                m = _GRAPH_RETURN_RE.match(line)
+                if m:
+                    self.advance()
+                    for name in _value_names(m.group("rets")) \
+                            if m.group("rets").strip() else []:
+                        block.add_return(self.lookup(name))
+                    return
+            else:
+                m = _RETURNS_RE.match(line)
+                if m:
+                    self.advance()
+                    rets = m.group("rets").strip()
+                    for name in (_value_names(rets) if rets else []):
+                        block.add_return(self.lookup(name))
+                    return
+            self.parse_node(block, graph)
+        if not top:
+            raise IRParseError("block without `-> (...)` terminator")
+
+    def parse_node(self, block, graph: Graph) -> None:
+        m = _NODE_RE.match(self.advance())
+        if not m:
+            raise IRParseError(f"cannot parse node line: "
+                               f"{self.lines[self.pos - 1]!r}")
+        op = m.group("op")
+        node = Node(op, graph)
+        if op == "prim::Constant":
+            payload_text = m.group("const")
+            if payload_text is None:
+                raise IRParseError("prim::Constant without [value=...]")
+            try:
+                node.attrs["value"] = pyast.literal_eval(payload_text)
+            except (SyntaxError, ValueError):
+                dtype_match = re.match(r"repro\.(\w+)$",
+                                       payload_text.strip())
+                if dtype_match:
+                    from ..runtime.dtype import DType
+                    node.attrs["value"] = DType._registry[
+                        dtype_match.group(1)]
+                else:
+                    raise IRParseError(
+                        f"unsupported constant payload: {payload_text!r}"
+                    ) from None
+        else:
+            ins = m.group("ins").strip()
+            for name in (_value_names(ins) if ins else []):
+                node.add_input(self.lookup(name))
+        block.append(node)
+
+        out_names = _value_names(m.group("outs")) if m.group("outs") \
+            else []
+        # nested blocks come before outputs are usable
+        while _BLOCK_RE.match(self.peek()):
+            bm = _BLOCK_RE.match(self.advance())
+            inner = node.add_block()
+            params = bm.group("params").strip()
+            for param in (_split_commas(params) if params else []):
+                name_part, _, type_part = param.partition(":")
+                name = name_part.strip().lstrip("%")
+                value = inner.add_param(name.split(".")[0],
+                                        _parse_type(type_part))
+                self.bind(name, value)
+            self.parse_block_body(inner, graph, top=False)
+        for name in out_names:
+            if op == "prim::Constant":
+                typ = T.type_of_constant(node.attrs["value"])
+            else:
+                typ = T.TensorType()
+            value = node.add_output(name.split(".")[0], typ)
+            self.bind(name, value)
+
+
+def parse_graph(text: str) -> Graph:
+    """Parse printer-format IR text into a Graph."""
+    return _Parser(text).parse()

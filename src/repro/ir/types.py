@@ -1,0 +1,133 @@
+"""IR type system.
+
+Deliberately coarse: the backend JIT-specializes kernels on *runtime*
+shapes (as NNC does), so static shapes are optional refinements, not
+requirements.  Types matter mainly to the frontend (scalar-vs-tensor
+op selection) and the verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class; subclasses are value-equal and hashable."""
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items(),
+                                                       key=lambda kv: kv[0],
+                                                       ))))
+
+    def __repr__(self) -> str:
+        return self.__class__.__name__.replace("Type", "")
+
+    @property
+    def is_tensor(self) -> bool:
+        return isinstance(self, TensorType)
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, (IntType, FloatType, BoolType))
+
+
+class TensorType(Type):
+    """A tensor, with optional dtype/shape refinement."""
+
+    def __init__(self, dtype: Optional[str] = None,
+                 shape: Optional[Tuple[int, ...]] = None) -> None:
+        self.dtype = dtype
+        self.shape = tuple(shape) if shape is not None else None
+
+    def __repr__(self) -> str:
+        bits = "Tensor"
+        if self.dtype:
+            bits += f"<{self.dtype}>"
+        if self.shape is not None:
+            bits += f"{list(self.shape)}"
+        return bits
+
+    def __hash__(self) -> int:
+        return hash(("TensorType", self.dtype, self.shape))
+
+
+class IntType(Type):
+    """A Python/host integer."""
+    pass
+
+
+class FloatType(Type):
+    """A Python/host float."""
+    pass
+
+
+class BoolType(Type):
+    """A Python/host boolean."""
+    pass
+
+
+class StrType(Type):
+    """A host string (also used for dtype constants)."""
+    pass
+
+
+class NoneType(Type):
+    """The None constant's type."""
+    pass
+
+
+class AnyType(Type):
+    """Unrefined type (containers of unknown element types, unpacked values)."""
+    pass
+
+
+class ListType(Type):
+    """A list with an optional element-type refinement."""
+    def __init__(self, elem: Optional[Type] = None) -> None:
+        self.elem = elem or AnyType()
+
+    def __repr__(self) -> str:
+        return f"List[{self.elem!r}]"
+
+    def __hash__(self) -> int:
+        return hash(("ListType", self.elem))
+
+
+class TupleType(Type):
+    """A fixed-arity tuple of element types."""
+    def __init__(self, elems: Sequence[Type] = ()) -> None:
+        self.elems = tuple(elems)
+
+    def __repr__(self) -> str:
+        return f"Tuple[{', '.join(map(repr, self.elems))}]"
+
+    def __hash__(self) -> int:
+        return hash(("TupleType", self.elems))
+
+
+def type_of_constant(value) -> Type:
+    """Infer the IR type of a Python constant payload."""
+    if value is None:
+        return NoneType()
+    if isinstance(value, bool):
+        return BoolType()
+    if isinstance(value, int):
+        return IntType()
+    if isinstance(value, float):
+        return FloatType()
+    if isinstance(value, str):
+        return StrType()
+    if isinstance(value, (list, tuple)):
+        elem = type_of_constant(value[0]) if value else AnyType()
+        return ListType(elem) if isinstance(value, list) else TupleType(
+            tuple(type_of_constant(v) for v in value))
+    from ..runtime.dtype import DType
+    from ..runtime.tensor import Tensor
+    if isinstance(value, Tensor):
+        return TensorType(value.dtype.name, value.shape)
+    if isinstance(value, DType):
+        return StrType()
+    raise TypeError(f"unsupported constant payload: {value!r}")

@@ -1,0 +1,129 @@
+"""IR structural verifier.
+
+Run after every pass in debug/test mode: catches dangling values,
+scope violations, use-list corruption, and malformed control-flow
+conventions long before they surface as wrong numerics.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .graph import Block, Graph, Node, Value
+
+
+class VerificationError(AssertionError):
+    """Raised by :func:`verify` on structural IR violations."""
+    pass
+
+
+def _fail(msg: str) -> None:
+    raise VerificationError(msg)
+
+
+def _check_uses(value: Value) -> None:
+    for use in value.uses:
+        if isinstance(use.user, Block):
+            if use.index >= len(use.user.returns) or \
+                    use.user.returns[use.index] is not value:
+                _fail(f"use-list of %{value.name} names a block return "
+                      f"slot that does not reference it")
+        else:
+            node = use.user
+            if use.index >= len(node.inputs) or \
+                    node.inputs[use.index] is not value:
+                _fail(f"use-list of %{value.name} names input "
+                      f"{use.index} of {node.op}, which holds something else")
+
+
+def _verify_block(block: Block, in_scope: Set[int]) -> None:
+    scope = set(in_scope)
+    for p in block.params:
+        if p.param_block is not block:
+            _fail(f"param %{p.name} does not point back to its block")
+        _check_uses(p)
+        scope.add(id(p))
+    for node in block.nodes:
+        if node.owning_block is not block:
+            _fail(f"node {node.op} owning_block backref is wrong")
+        for i, v in enumerate(node.inputs):
+            if id(v) not in scope:
+                _fail(f"node {node.op} input {i} (%{v.name}) is not in "
+                      f"scope (defined later, or in a sibling block)")
+            if not any(u.user is node and u.index == i for u in v.uses):
+                _fail(f"%{v.name} lacks a use record for {node.op} "
+                      f"input {i}")
+        _verify_conventions(node)
+        for inner in node.blocks:
+            if inner.owning_node is not node:
+                _fail(f"block of {node.op} has wrong owning_node")
+            _verify_block(inner, scope)
+        for out in node.outputs:
+            if out.node is not node:
+                _fail(f"output %{out.name} does not point back to {node.op}")
+            _check_uses(out)
+            scope.add(id(out))
+    for i, r in enumerate(block.returns):
+        if id(r) not in scope:
+            _fail(f"block return {i} (%{r.name}) is not in scope")
+        if not any(u.user is block and u.index == i for u in r.uses):
+            _fail(f"%{r.name} lacks a use record for block return {i}")
+
+
+def _verify_conventions(node: Node) -> None:
+    if node.op == "prim::Loop":
+        if len(node.blocks) != 1:
+            _fail("prim::Loop must own exactly one block")
+        body = node.blocks[0]
+        n_carried = len(node.inputs) - 2
+        if n_carried < 0:
+            _fail("prim::Loop needs (max_trip, init_cond, *carried) inputs")
+        if len(body.params) != n_carried + 1:
+            _fail(f"prim::Loop body must have 1+{n_carried} params, "
+                  f"has {len(body.params)}")
+        if len(body.returns) != n_carried + 1:
+            _fail(f"prim::Loop body must return 1+{n_carried} values, "
+                  f"returns {len(body.returns)}")
+        if len(node.outputs) != n_carried:
+            _fail("prim::Loop outputs must match carried values")
+    elif node.op == "prim::If":
+        if len(node.blocks) != 2:
+            _fail("prim::If must own exactly two blocks")
+        if len(node.inputs) != 1:
+            _fail("prim::If takes exactly one input (the condition)")
+        for b in node.blocks:
+            if b.params:
+                _fail("prim::If blocks take no params")
+            if len(b.returns) != len(node.outputs):
+                _fail(f"prim::If block returns {len(b.returns)} values, "
+                      f"node has {len(node.outputs)} outputs")
+    elif node.op == "prim::FusionGroup":
+        if len(node.blocks) != 1:
+            _fail("prim::FusionGroup must own exactly one block")
+        body = node.blocks[0]
+        if len(body.params) != len(node.inputs):
+            _fail("FusionGroup params must mirror node inputs")
+        if len(body.returns) != len(node.outputs):
+            _fail("FusionGroup returns must mirror node outputs")
+    elif node.op == "prim::ParallelMap":
+        if len(node.blocks) != 1:
+            _fail("prim::ParallelMap must own exactly one block")
+        body = node.blocks[0]
+        if len(body.params) != len(node.inputs):
+            # (index, *captures) vs (trip_count, *captures)
+            _fail("ParallelMap params must be (i, *captures) matching "
+                  "(trip_count, *captures) inputs")
+        if len(body.returns) != len(node.outputs):
+            _fail("ParallelMap returns must mirror node outputs")
+    elif node.op == "prim::Constant":
+        if "value" not in node.attrs:
+            _fail("prim::Constant without a value attribute")
+    elif node.op == "tssa::update":
+        if len(node.inputs) != 2 or node.outputs:
+            _fail("tssa::update must be update(new, old) with no outputs")
+
+
+def verify(graph: Graph) -> Graph:
+    """Check structural invariants; returns the graph for chaining."""
+    _verify_block(graph.block, set())
+    return graph

@@ -1,0 +1,5 @@
+"""repro.models — the paper's eight evaluation workloads."""
+
+from .registry import WORKLOADS, Workload, get_workload, workload_names
+
+__all__ = ["WORKLOADS", "Workload", "get_workload", "workload_names"]

@@ -1,0 +1,40 @@
+"""Single-head attention with imperative causal masking (workload #8).
+
+Scores are computed with one batched matmul; the causal mask is then
+applied *imperatively* — a loop over timesteps writing -inf into each
+row's future positions through slice mutations.  After TensorSSA this
+loop is pure and becomes a single mapped kernel (horizontal
+parallelization), the paper's §4.2.2 showcase.
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .common import synth
+
+NAME = "attention"
+DOMAIN = "module"
+DIM = 256
+
+
+def attention(q, k, v):
+    """q, k, v: (B, T, D)."""
+    t_steps = q.shape[1]
+    scale = 1.0 / float(q.shape[2]) ** 0.5
+    scores = (q @ k.transpose(1, 2)) * scale
+    for t in range(t_steps - 1):
+        scores[:, t, t + 1:] = -1000000000.0
+    probs = rt.softmax(scores, 2)
+    return probs @ v, probs
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Seeded synthetic inputs for this workload (batch_size / seq_len scale the sweep axes)."""
+    q = synth((batch_size, seq_len, DIM), seed, -1.0, 1.0)
+    k = synth((batch_size, seq_len, DIM), seed + 1, -1.0, 1.0)
+    v = synth((batch_size, seq_len, DIM), seed + 2, -1.0, 1.0)
+    return q, k, v
+
+
+MODEL_FN = attention

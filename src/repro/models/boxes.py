@@ -1,0 +1,48 @@
+"""Bounding-box math used by the CV post-processing workloads.
+
+Plain Python functions: the scripting frontend inlines them, so they
+appear in model graphs as regular tensor ops (and get functionalized /
+fused along with their callers).
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+
+def cxcywh_to_xyxy_(boxes):
+    """In-place corner conversion — the classic SSD/YOLO idiom that
+    partially mutates through slices (exactly the paper's §2.1 case)."""
+    boxes[:, :, 0:2] -= boxes[:, :, 2:4] / 2.0
+    boxes[:, :, 2:4] += boxes[:, :, 0:2]
+    return boxes
+
+
+def pairwise_iou_against(box, boxes):
+    """IoU of one box (B, 4) against K boxes (B, K, 4), xyxy format."""
+    bx = box.unsqueeze(1)
+    lt = rt.maximum(bx[:, :, 0:2], boxes[:, :, 0:2])
+    rb = rt.minimum(bx[:, :, 2:4], boxes[:, :, 2:4])
+    wh = rt.clamp(rb - lt, 0.0)
+    inter = wh[:, :, 0] * wh[:, :, 1]
+    area_a = (bx[:, :, 2] - bx[:, :, 0]) * (bx[:, :, 3] - bx[:, :, 1])
+    area_b = ((boxes[:, :, 2] - boxes[:, :, 0])
+              * (boxes[:, :, 3] - boxes[:, :, 1]))
+    return inter / (area_a + area_b - inter + 1e-9)
+
+
+def greedy_nms_suppress(boxes, iou_threshold: float, k: int):
+    """Greedy NMS over ``k`` score-sorted candidates (xyxy boxes).
+
+    Returns a 0/1 suppression mask (B, k); implemented as an imperative
+    loop with slice mutations — the pattern the paper's CV workloads
+    spend their time in."""
+    suppressed = rt.zeros((boxes.shape[0], k))
+    for i in range(k - 1):
+        cur = boxes[:, i]
+        ious = pairwise_iou_against(cur, boxes)
+        overlap = (ious > iou_threshold).to(rt.float32)
+        alive = 1.0 - suppressed[:, i]
+        tail = overlap[:, i + 1:] * alive.unsqueeze(1)
+        suppressed[:, i + 1:] = rt.maximum(suppressed[:, i + 1:], tail)
+    return suppressed

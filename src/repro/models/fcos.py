@@ -1,0 +1,65 @@
+"""FCOS post-processing (paper workload #4, CV).
+
+Anchor-free decode: per-level loops turn (l, t, r, b) distances at each
+point into boxes through column-wise in-place writes, fold centerness
+into classification scores, concatenate levels, and suppress with the
+greedy NMS loop.
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .boxes import greedy_nms_suppress
+from .common import make_grid, synth
+
+NAME = "fcos"
+DOMAIN = "cv"
+NUM_CLASSES = 20
+LEVEL_SIZES = (1024, 256, 64)
+NMS_KEEP = 24
+
+
+def _decode_level(cls, ctr, reg, points, stride: float):
+    d = rt.exp(rt.clamp(reg, -4.0, 4.0)) * stride
+    boxes = rt.zeros_like(reg)
+    boxes[:, :, 0] = points[:, 0] * stride - d[:, :, 0]
+    boxes[:, :, 1] = points[:, 1] * stride - d[:, :, 1]
+    boxes[:, :, 2] = points[:, 0] * stride + d[:, :, 2]
+    boxes[:, :, 3] = points[:, 1] * stride + d[:, :, 3]
+    centerness = rt.sqrt(rt.sigmoid(ctr))
+    scores = rt.sigmoid(cls) * centerness.unsqueeze(2)
+    return boxes, scores
+
+
+def fcos_postprocess(c0, t0, r0, p0, c1, t1, r1, p1, c2, t2, r2, p2):
+    """FCOS anchor-free decode + centerness folding + greedy NMS (imperative)."""
+    b0, s0 = _decode_level(c0, t0, r0, p0, 8.0)
+    b1, s1 = _decode_level(c1, t1, r1, p1, 16.0)
+    b2, s2 = _decode_level(c2, t2, r2, p2, 32.0)
+    boxes = rt.cat([b0, b1, b2], 1)
+    scores = rt.cat([s0, s1, s2], 1)
+
+    best = scores.max(2)
+    top_scores, idx = best.topk(24, dim=1)
+    b = scores.shape[0]
+    idx3 = idx.unsqueeze(2).expand((b, 24, 4))
+    top_boxes = rt.gather(boxes, 1, idx3)
+    suppressed = greedy_nms_suppress(top_boxes, 0.6, 24)
+    return top_boxes, top_scores * (1.0 - suppressed)
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Seeded synthetic inputs for this workload (batch_size / seq_len scale the sweep axes)."""
+    del seq_len
+    args = []
+    for i, n in enumerate(LEVEL_SIZES):
+        args.append(synth((batch_size, n, NUM_CLASSES), seed + 4 * i,
+                          -3.0, 3.0))          # cls logits
+        args.append(synth((batch_size, n), seed + 4 * i + 1, -2.0, 2.0))
+        args.append(synth((batch_size, n, 4), seed + 4 * i + 2, -1.0, 1.0))
+        args.append(make_grid(n))
+    return tuple(args)
+
+
+MODEL_FN = fcos_postprocess

@@ -1,0 +1,53 @@
+"""Manual LSTM inference loop (paper workload #6, NLP).
+
+The cell is written imperatively: gate pre-activations sliced out of one
+projection (views), cell/hidden state updated elementwise, and each
+step's hidden state written into an output buffer through a select
+mutation — tensor views and mutations "distributed within the loop used
+for iterating over sequence length" (paper §5.2).
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .common import synth
+
+NAME = "lstm"
+DOMAIN = "nlp"
+HIDDEN = 256
+INPUT = 256
+
+
+def lstm_inference(x, wx, wh, bias, h0, c0):
+    """x: (T, B, D); wx: (4H, D); wh: (4H, H); bias: (4H,)."""
+    t_steps = x.shape[0]
+    b = x.shape[1]
+    hidden = h0.shape[1]
+    h = h0.clone()
+    c = c0.clone()
+    out = rt.zeros((t_steps, b, hidden))
+    for t in range(t_steps):
+        gates = rt.linear(x[t], wx, bias) + rt.linear(h, wh)
+        i_g = rt.sigmoid(gates[:, 0:hidden])
+        f_g = rt.sigmoid(gates[:, hidden:2 * hidden])
+        g_g = rt.tanh(gates[:, 2 * hidden:3 * hidden])
+        o_g = rt.sigmoid(gates[:, 3 * hidden:])
+        c = f_g * c + i_g * g_g
+        h = o_g * rt.tanh(c)
+        out[t] = h
+    return out, h, c
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Seeded synthetic inputs for this workload (batch_size / seq_len scale the sweep axes)."""
+    x = synth((seq_len, batch_size, INPUT), seed, -1.0, 1.0)
+    wx = synth((4 * HIDDEN, INPUT), seed + 1, -0.3, 0.3)
+    wh = synth((4 * HIDDEN, HIDDEN), seed + 2, -0.3, 0.3)
+    bias = synth((4 * HIDDEN,), seed + 3, -0.1, 0.1)
+    h0 = synth((batch_size, HIDDEN), seed + 4, -1.0, 1.0)
+    c0 = synth((batch_size, HIDDEN), seed + 5, -1.0, 1.0)
+    return x, wx, wh, bias, h0, c0
+
+
+MODEL_FN = lstm_inference

@@ -1,0 +1,67 @@
+"""NASRNN cell inference loop (paper workload #5, NLP).
+
+The NAS-discovered recurrent cell (Zoph et al.) is a deep tree of
+elementwise ops over eight gate slices — the canonical memory-bound RNN
+body used by TorchScript/TVM benchmark suites.  Imperative features:
+gate slicing (views), per-step buffer writes (mutation), sequence loop.
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .common import synth
+
+NAME = "nasrnn"
+DOMAIN = "nlp"
+HIDDEN = 256
+INPUT = 256
+
+
+def nasrnn_inference(x, wx, wh, h0):
+    """x: (T, B, D); wx: (8H, D); wh: (8H, H)."""
+    t_steps = x.shape[0]
+    b = x.shape[1]
+    hidden = h0.shape[1]
+    h = h0.clone()
+    out = rt.zeros((t_steps, b, hidden))
+    for t in range(t_steps):
+        xp = rt.linear(x[t], wx)
+        hp = rt.linear(h, wh)
+        # eight gate units, combined as in the NAS cell's binary tree
+        u0 = rt.sigmoid(xp[:, 0:hidden]) * rt.tanh(hp[:, 0:hidden])
+        u1 = rt.relu(xp[:, hidden:2 * hidden]
+                     + hp[:, hidden:2 * hidden])
+        u2 = rt.sigmoid(xp[:, 2 * hidden:3 * hidden]
+                        + hp[:, 2 * hidden:3 * hidden])
+        u3 = rt.tanh(xp[:, 3 * hidden:4 * hidden]
+                     * hp[:, 3 * hidden:4 * hidden])
+        u4 = rt.sigmoid(xp[:, 4 * hidden:5 * hidden]
+                        + hp[:, 4 * hidden:5 * hidden])
+        u5 = rt.tanh(xp[:, 5 * hidden:6 * hidden]
+                     + hp[:, 5 * hidden:6 * hidden])
+        u6 = rt.relu(xp[:, 6 * hidden:7 * hidden]
+                     * hp[:, 6 * hidden:7 * hidden])
+        u7 = rt.sigmoid(xp[:, 7 * hidden:] + hp[:, 7 * hidden:])
+        # combine pairwise
+        c0 = rt.tanh(u0 + u1)
+        c1 = rt.sigmoid(u2 * u3)
+        c2 = rt.tanh(u4 * u5)
+        c3 = rt.sigmoid(u6 + u7)
+        d0 = rt.tanh(c0 * c1)
+        d1 = rt.tanh(c2 + c3)
+        h = rt.tanh(d0 * d1)
+        out[t] = h
+    return out, h
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Seeded synthetic inputs for this workload (batch_size / seq_len scale the sweep axes)."""
+    x = synth((seq_len, batch_size, INPUT), seed, -1.0, 1.0)
+    wx = synth((8 * HIDDEN, INPUT), seed + 1, -0.3, 0.3)
+    wh = synth((8 * HIDDEN, HIDDEN), seed + 2, -0.3, 0.3)
+    h0 = synth((batch_size, HIDDEN), seed + 3, -1.0, 1.0)
+    return x, wx, wh, h0
+
+
+MODEL_FN = nasrnn_inference

@@ -1,0 +1,57 @@
+"""Workload registry: the paper's eight evaluation tasks (§5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from . import (attention, fcos, lstm, nasrnn, seq2seq, ssd, yolact,
+               yolov3)
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    domain: str            # "cv" | "nlp" | "module"
+    model_fn: Callable
+    make_inputs: Callable  # (batch_size, seq_len, seed) -> args tuple
+    #: does Figure 7 sweep this over batch size?
+    batch_sweep: bool = True
+    #: does Figure 8 sweep this over sequence length?
+    seq_sweep: bool = False
+
+
+_MODULES = (yolov3, ssd, yolact, fcos, nasrnn, lstm, seq2seq, attention)
+
+WORKLOADS: Dict[str, Workload] = {
+    m.NAME: Workload(
+        name=m.NAME,
+        domain=m.DOMAIN,
+        model_fn=m.MODEL_FN,
+        make_inputs=m.make_inputs,
+        batch_sweep=m.NAME in ("yolov3", "ssd", "yolact", "fcos",
+                               "seq2seq", "attention"),
+        seq_sweep=m.DOMAIN in ("nlp", "module"),
+    )
+    for m in _MODULES
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload spec by name."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"choose from {sorted(WORKLOADS)}")
+    return WORKLOADS[name]
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, in registry order."""
+    return list(WORKLOADS)
+
+
+def cv_nlp_split() -> Tuple[List[str], List[str]]:
+    """Workload names split into (CV, non-CV) groups."""
+    cv = [w.name for w in WORKLOADS.values() if w.domain == "cv"]
+    other = [w.name for w in WORKLOADS.values() if w.domain != "cv"]
+    return cv, other

@@ -1,0 +1,78 @@
+"""seq2seq greedy decoding (paper workload #7, NLP).
+
+An LSTM encoder consumes the source sequence; a greedy LSTM decoder
+then emits tokens one at a time — embedding lookup, cell update, output
+projection, argmax, and a token-buffer write per step.  The decoder
+loop's mix of views, mutations, and data-dependent ops is the paper's
+hardest functionalization case among the NLP workloads.
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .common import synth
+
+NAME = "seq2seq"
+DOMAIN = "nlp"
+HIDDEN = 256
+INPUT = 256
+VOCAB = 512
+
+
+def _lstm_step(x_t, h, c, wx, wh, bias, hidden: int):
+    gates = rt.linear(x_t, wx, bias) + rt.linear(h, wh)
+    i_g = rt.sigmoid(gates[:, 0:hidden])
+    f_g = rt.sigmoid(gates[:, hidden:2 * hidden])
+    g_g = rt.tanh(gates[:, 2 * hidden:3 * hidden])
+    o_g = rt.sigmoid(gates[:, 3 * hidden:])
+    c_new = f_g * c + i_g * g_g
+    h_new = o_g * rt.tanh(c_new)
+    return h_new, c_new
+
+def seq2seq_greedy(src, enc_wx, enc_wh, enc_b, dec_wx, dec_wh, dec_b,
+                   embed, w_out, h0, c0, dec_steps: int):
+    """src: (T, B, D); embed: (V, H); w_out: (V, H)."""
+    hidden = h0.shape[1]
+    b = src.shape[1]
+    t_enc = src.shape[0]
+
+    # -- encoder -----------------------------------------------------------
+    h = h0.clone()
+    c = c0.clone()
+    for t in range(t_enc):
+        h, c = _lstm_step(src[t], h, c, enc_wx, enc_wh, enc_b, hidden)
+
+    # -- greedy decoder -----------------------------------------------------
+    tokens = rt.zeros((dec_steps, b), dtype=rt.int64)
+    logits_sum = rt.zeros((b, w_out.shape[0]))
+    tok = rt.zeros((b,), dtype=rt.int64)
+    for t in range(dec_steps):
+        emb = rt.embedding(embed, tok)
+        h, c = _lstm_step(emb, h, c, dec_wx, dec_wh, dec_b, hidden)
+        logits = rt.linear(h, w_out)
+        tok = rt.argmax(logits, 1)
+        tokens[t] = tok
+        logits_sum += rt.softmax(logits, 1)
+    return tokens, logits_sum, h
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Seeded synthetic inputs for this workload (batch_size / seq_len scale the sweep axes)."""
+    src = synth((seq_len, batch_size, INPUT), seed, -1.0, 1.0)
+    enc_wx = synth((4 * HIDDEN, INPUT), seed + 1, -0.3, 0.3)
+    enc_wh = synth((4 * HIDDEN, HIDDEN), seed + 2, -0.3, 0.3)
+    enc_b = synth((4 * HIDDEN,), seed + 3, -0.1, 0.1)
+    dec_wx = synth((4 * HIDDEN, HIDDEN), seed + 4, -0.3, 0.3)
+    dec_wh = synth((4 * HIDDEN, HIDDEN), seed + 5, -0.3, 0.3)
+    dec_b = synth((4 * HIDDEN,), seed + 6, -0.1, 0.1)
+    embed = synth((VOCAB, HIDDEN), seed + 7, -0.3, 0.3)
+    w_out = synth((VOCAB, HIDDEN), seed + 8, -0.3, 0.3)
+    h0 = synth((batch_size, HIDDEN), seed + 9, -1.0, 1.0)
+    c0 = synth((batch_size, HIDDEN), seed + 10, -1.0, 1.0)
+    dec_steps = max(seq_len // 2, 4)
+    return (src, enc_wx, enc_wh, enc_b, dec_wx, dec_wh, dec_b, embed,
+            w_out, h0, c0, dec_steps)
+
+
+MODEL_FN = seq2seq_greedy

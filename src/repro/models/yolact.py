@@ -1,0 +1,80 @@
+"""YOLACT post-processing (paper workload #3, CV).
+
+Box decode (shared with SSD), prototype-mask assembly via one matmul,
+then the *crop* step: an imperative nested loop zeroing every mask
+outside its box using data-dependent slice bounds.  Crop is the
+notorious mutation-heavy part of YOLACT's post-processing.
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .common import make_priors, synth
+
+NAME = "yolact"
+DOMAIN = "cv"
+NUM_CLASSES = 12
+NUM_PRIORS = 1024
+NUM_KEEP = 12
+PROTO_SIZE = 48
+NUM_PROTOS = 16
+
+
+def yolact_postprocess(loc, conf, priors, proto, coeffs):
+    """YOLACT decode + mask assembly + data-dependent crop loop (imperative)."""
+    b = loc.shape[0]
+
+    # -- box decode with in-place slice arithmetic -----------------------
+    boxes = rt.zeros_like(loc)
+    boxes[:, :, 0:2] = priors[:, 0:2] + loc[:, :, 0:2] * 0.1 * priors[:, 2:4]
+    boxes[:, :, 2:4] = priors[:, 2:4] * rt.exp(
+        rt.clamp(loc[:, :, 2:4] * 0.2, -4.0, 4.0))
+    boxes[:, :, 0:2] -= boxes[:, :, 2:4] / 2.0
+    boxes[:, :, 2:4] += boxes[:, :, 0:2]
+    boxes = rt.clamp(boxes, 0.0, 1.0)
+
+    # -- candidate selection ----------------------------------------------
+    scores = rt.softmax(conf, 2)
+    obj = scores[:, :, 1:].max(2)
+    top_scores, idx = obj.topk(12, dim=1)
+    idx_box = idx.unsqueeze(2).expand((b, 12, 4))
+    top_boxes = rt.gather(boxes, 1, idx_box)
+    idx_coef = idx.unsqueeze(2).expand((b, 12, 16))
+    top_coeffs = rt.gather(coeffs, 1, idx_coef)
+
+    # -- mask assembly: proto (B, S, S, P) x coeffs (B, K, P) -------------
+    flat = proto.reshape((b, 2304, 16))
+    masks = rt.sigmoid(flat @ top_coeffs.transpose(1, 2))
+    masks = masks.reshape((b, 48, 48, 12))
+
+    # -- crop: zero outside each box (data-dependent slice mutation) ------
+    cropped = masks.clone()
+    for bi in range(b):
+        for k in range(12):
+            x1 = int(top_boxes[bi, k, 0].item() * 48.0)
+            y1 = int(top_boxes[bi, k, 1].item() * 48.0)
+            x2 = int(top_boxes[bi, k, 2].item() * 48.0) + 1
+            y2 = int(top_boxes[bi, k, 3].item() * 48.0) + 1
+            cropped[bi, 0:y1, :, k] = 0.0
+            cropped[bi, y2:, :, k] = 0.0
+            cropped[bi, :, 0:x1, k] = 0.0
+            cropped[bi, :, x2:, k] = 0.0
+    mask_area = cropped.sum(1).sum(1)
+    return top_boxes, top_scores, cropped, mask_area
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Seeded synthetic inputs for this workload (batch_size / seq_len scale the sweep axes)."""
+    del seq_len
+    loc = synth((batch_size, NUM_PRIORS, 4), seed, -1.0, 1.0)
+    conf = synth((batch_size, NUM_PRIORS, NUM_CLASSES), seed + 1, -3.0, 3.0)
+    priors = make_priors(NUM_PRIORS, seed=seed + 2)
+    proto = synth((batch_size, PROTO_SIZE, PROTO_SIZE, NUM_PROTOS),
+                  seed + 3, -1.0, 1.0)
+    coeffs = synth((batch_size, NUM_PRIORS, NUM_PROTOS), seed + 4,
+                   -1.0, 1.0)
+    return loc, conf, priors, proto, coeffs
+
+
+MODEL_FN = yolact_postprocess

@@ -1,0 +1,69 @@
+"""YOLOv3 post-processing (paper workload #1, CV).
+
+Three detection heads are decoded with the classic YOLO idiom — slice
+mutations applying sigmoid/exp transforms in place — then concatenated,
+converted to corner form (more slice mutations), ranked, and run through
+a greedy NMS loop.  The backbone is synthetic (TensorRT runs it in the
+paper); everything here is the imperative tensor program the compilers
+compete on.
+"""
+
+from __future__ import annotations
+
+import repro.runtime as rt
+
+from .boxes import cxcywh_to_xyxy_, greedy_nms_suppress
+from .common import make_grid, synth
+
+NAME = "yolov3"
+DOMAIN = "cv"
+NUM_CLASSES = 20
+NMS_KEEP = 32
+
+
+def _decode_level(pred, grid, anchor, stride: float):
+    """Decode one YOLO head in place on a cloned buffer."""
+    out = pred.clone()
+    out[:, :, 0:2] = (rt.sigmoid(pred[:, :, 0:2]) + grid) * stride
+    out[:, :, 2:4] = rt.exp(rt.clamp(pred[:, :, 2:4], -4.0, 4.0)) * anchor
+    out[:, :, 4:] = rt.sigmoid(pred[:, :, 4:])
+    return out
+
+
+def yolov3_postprocess(p0, p1, p2, g0, g1, g2, a0, a1, a2):
+    """YOLOv3 3-level decode (in-place slice transforms) + greedy NMS (imperative)."""
+    d0 = _decode_level(p0, g0, a0, 8.0)
+    d1 = _decode_level(p1, g1, a1, 16.0)
+    d2 = _decode_level(p2, g2, a2, 32.0)
+    preds = rt.cat([d0, d1, d2], 1)
+
+    boxes = preds[:, :, 0:4].clone()
+    boxes = cxcywh_to_xyxy_(boxes)
+
+    best_cls = preds[:, :, 5:].max(2)
+    scores = preds[:, :, 4] * best_cls
+    top_scores, idx = scores.topk(32, dim=1)
+    b = scores.shape[0]
+    idx3 = idx.unsqueeze(2).expand((b, 32, 4))
+    top_boxes = rt.gather(boxes, 1, idx3)
+
+    suppressed = greedy_nms_suppress(top_boxes, 0.5, 32)
+    final_scores = top_scores * (1.0 - suppressed)
+    return top_boxes, final_scores
+
+
+def make_inputs(batch_size: int = 1, seq_len: int = 64, seed: int = 0):
+    """Synthetic head outputs for 3 levels; seq_len is unused (CV)."""
+    del seq_len
+    sizes = (3072, 768, 192)
+    channels = 5 + NUM_CLASSES
+    preds = [synth((batch_size, n, channels), seed + i, -2.0, 2.0)
+             for i, n in enumerate(sizes)]
+    grids = [make_grid(n) for n in sizes]
+    anchors = [synth((n, 2), seed + 10 + i, 8.0, 64.0)
+               for i, n in enumerate(sizes)]
+    return (preds[0], preds[1], preds[2], grids[0], grids[1], grids[2],
+            anchors[0], anchors[1], anchors[2])
+
+
+MODEL_FN = yolov3_postprocess

@@ -1,0 +1,8 @@
+"""repro.ops — operator schemas, the registry, and immut kernels."""
+
+from . import immut
+from .registry import REGISTRY, all_ops, get, has, register
+from .schema import OpKind, OpSchema
+
+__all__ = ["OpKind", "OpSchema", "REGISTRY", "get", "has", "register",
+           "all_ops", "immut"]

@@ -1,0 +1,259 @@
+"""The operator registry: every op an IR node may carry.
+
+Namespaces follow TorchScript conventions:
+
+* ``aten::*``  — tensor ops (pure, view, or mutating) and scalar helpers.
+* ``immut::*`` — the TensorSSA Access/Assign operator sets (paper §3.2).
+* ``prim::*``  — constants, control flow, containers, scalar arithmetic.
+* ``tssa::*``  — the Update annotation (paper Definition 3.5).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Dict, Iterable
+
+from ..runtime import (creation, elementwise, inplace, linalg, reduction,
+                       shape_ops, views)
+from . import immut
+from .schema import OpKind, OpSchema
+
+REGISTRY: Dict[str, OpSchema] = {}
+
+
+def register(schema: OpSchema) -> OpSchema:
+    """Register a schema; duplicate names are rejected."""
+    if schema.name in REGISTRY:
+        raise ValueError(f"duplicate op registration: {schema.name}")
+    REGISTRY[schema.name] = schema
+    return schema
+
+
+def get(name: str) -> OpSchema:
+    """Look up a schema by op name; KeyError with guidance if missing."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown operator {name!r}; "
+                       f"is it missing from repro.ops.registry?") from None
+
+
+def has(name: str) -> bool:
+    """Is this op name registered?"""
+    return name in REGISTRY
+
+
+def all_ops() -> Iterable[OpSchema]:
+    """Iterate every registered schema."""
+    return REGISTRY.values()
+
+
+def _pure(name, fn, fusable=False, num_outputs=1, result_types=("Tensor",)):
+    register(OpSchema(name, OpKind.PURE, fn, num_outputs=num_outputs,
+                      fusable=fusable, result_types=result_types))
+
+
+def _view(name, fn, access_op, assign_op):
+    register(OpSchema(name, OpKind.VIEW, fn, access_op=access_op,
+                      assign_op=assign_op))
+
+
+def _mutating(name, fn, functional_op):
+    register(OpSchema(name, OpKind.MUTATING, fn, functional_op=functional_op))
+
+
+# ---------------------------------------------------------------------------
+# aten:: pure elementwise (the fusable set)
+# ---------------------------------------------------------------------------
+
+for _n, _f in [
+    ("add", elementwise.add), ("sub", elementwise.sub),
+    ("mul", elementwise.mul), ("div", elementwise.div),
+    ("pow", elementwise.pow), ("neg", elementwise.neg),
+    ("abs", elementwise.abs), ("exp", elementwise.exp),
+    ("log", elementwise.log), ("sqrt", elementwise.sqrt),
+    ("sigmoid", elementwise.sigmoid), ("tanh", elementwise.tanh),
+    ("relu", elementwise.relu), ("clamp", elementwise.clamp),
+    ("floor", elementwise.floor), ("ceil", elementwise.ceil),
+    ("maximum", elementwise.maximum), ("minimum", elementwise.minimum),
+    ("where", elementwise.where), ("clone", elementwise.clone),
+    ("gt", elementwise.gt), ("lt", elementwise.lt),
+    ("ge", elementwise.ge), ("le", elementwise.le),
+    ("eq", elementwise.eq), ("ne", elementwise.ne),
+    ("logical_and", elementwise.logical_and),
+    ("logical_or", elementwise.logical_or),
+    ("logical_not", elementwise.logical_not),
+    ("masked_fill", shape_ops.masked_fill),
+]:
+    _pure(f"aten::{_n}", _f, fusable=True)
+
+_pure("aten::to", elementwise.to, fusable=True)
+
+# ---------------------------------------------------------------------------
+# aten:: pure non-fusable (reductions, linalg, data movement, creation)
+# ---------------------------------------------------------------------------
+
+for _n, _f in [
+    ("sum", reduction.sum), ("mean", reduction.mean),
+    ("max", reduction.max), ("min", reduction.min),
+    ("argmax", reduction.argmax), ("argmin", reduction.argmin),
+    ("cumsum", reduction.cumsum), ("softmax", reduction.softmax),
+    ("log_softmax", reduction.log_softmax),
+    ("matmul", linalg.matmul), ("bmm", linalg.bmm),
+    ("linear", linalg.linear),
+    ("cat", shape_ops.cat), ("stack", shape_ops.stack),
+    ("index_select", shape_ops.index_select),
+    ("gather", shape_ops.gather),
+    ("masked_select", shape_ops.masked_select),
+    ("nonzero", shape_ops.nonzero), ("embedding", shape_ops.embedding),
+    ("masked_scatter", shape_ops.masked_scatter),
+    ("index_put", shape_ops.index_put),
+    ("index_fill", shape_ops.index_fill),
+    ("zeros", creation.zeros), ("ones", creation.ones),
+    ("full", creation.full), ("arange", creation.arange),
+]:
+    _pure(f"aten::{_n}", _f)
+
+# like-fills are elementwise writes: fusable (NNC folds constant fills)
+for _n, _f in [("zeros_like", creation.zeros_like),
+               ("ones_like", creation.ones_like),
+               ("full_like", creation.full_like)]:
+    _pure(f"aten::{_n}", _f, fusable=True)
+
+_pure("aten::topk", shape_ops.topk, num_outputs=2,
+      result_types=("Tensor", "Tensor"))
+_pure("aten::sort", shape_ops.sort, num_outputs=2,
+      result_types=("Tensor", "Tensor"))
+
+# Scalar extraction (forces host sync — a fusion and graph boundary).
+_pure("aten::item", lambda t: t.item(), result_types=("Scalar",))
+_pure("aten::Bool", lambda t: bool(t), result_types=("bool",))
+_pure("aten::Int", lambda v: int(v.item() if hasattr(v, "item") else v),
+      result_types=("int",))
+_pure("aten::Float", lambda v: float(v.item() if hasattr(v, "item") else v),
+      result_types=("float",))
+_pure("aten::len", lambda x: len(x), result_types=("int",))
+_pure("aten::size", lambda t, dim=None: (t.shape if dim is None
+                                         else t.shape[int(dim)]),
+      result_types=("int",))
+_pure("aten::numel", lambda t: t.numel, result_types=("int",))
+_pure("aten::dim", lambda t: t.ndim, result_types=("int",))
+
+# ---------------------------------------------------------------------------
+# aten:: view operators with their immut:: counterparts
+# ---------------------------------------------------------------------------
+
+_view("aten::alias", views.alias, "immut::alias", "immut::assign")
+_view("aten::select", views.select, "immut::select", "immut::select_assign")
+_view("aten::slice", views.slice_, "immut::slice", "immut::slice_assign")
+_view("aten::narrow", views.narrow, "immut::narrow", "immut::narrow_assign")
+_view("aten::reshape", views.reshape, "immut::reshape",
+      "immut::reshape_assign")
+_view("aten::view", views.view, "immut::reshape", "immut::reshape_assign")
+_view("aten::permute", views.permute, "immut::permute",
+      "immut::permute_assign")
+_view("aten::transpose", views.transpose, "immut::transpose",
+      "immut::transpose_assign")
+_view("aten::squeeze", views.squeeze, "immut::squeeze",
+      "immut::squeeze_assign")
+_view("aten::unsqueeze", views.unsqueeze, "immut::unsqueeze",
+      "immut::unsqueeze_assign")
+_view("aten::expand", views.expand, "immut::expand", None)
+_view("aten::flatten", views.flatten, "immut::flatten",
+      "immut::flatten_assign")
+
+# ---------------------------------------------------------------------------
+# aten:: mutating operators and their functional equivalents
+# ---------------------------------------------------------------------------
+
+_mutating("aten::copy_", inplace.copy_, functional_op=None)  # value == src
+for _n, _f, _fop in [
+    ("fill_", inplace.fill_, "aten::full_like"),
+    ("zero_", inplace.zero_, "aten::zeros_like"),
+    ("add_", inplace.add_, "aten::add"),
+    ("sub_", inplace.sub_, "aten::sub"),
+    ("mul_", inplace.mul_, "aten::mul"),
+    ("div_", inplace.div_, "aten::div"),
+    ("pow_", inplace.pow_, "aten::pow"),
+    ("neg_", inplace.neg_, "aten::neg"),
+    ("exp_", inplace.exp_, "aten::exp"),
+    ("sqrt_", inplace.sqrt_, "aten::sqrt"),
+    ("sigmoid_", inplace.sigmoid_, "aten::sigmoid"),
+    ("tanh_", inplace.tanh_, "aten::tanh"),
+    ("relu_", inplace.relu_, "aten::relu"),
+    ("clamp_", inplace.clamp_, "aten::clamp"),
+    ("maximum_", inplace.maximum_, "aten::maximum"),
+    ("minimum_", inplace.minimum_, "aten::minimum"),
+    ("masked_fill_", inplace.masked_fill_, "aten::masked_fill"),
+    ("masked_scatter_", inplace.masked_scatter_, "aten::masked_scatter"),
+    ("index_put_", inplace.index_put_, "aten::index_put"),
+    ("index_fill_", inplace.index_fill_, "aten::index_fill"),
+]:
+    _mutating(f"aten::{_n}", _f, _fop)
+
+# ---------------------------------------------------------------------------
+# immut:: Access / Assign (paper §3.2) — all pure and fusable
+# ---------------------------------------------------------------------------
+
+for _n, _f in [
+    ("alias", immut.access_alias), ("select", immut.access_select),
+    ("slice", immut.access_slice), ("narrow", immut.access_narrow),
+    ("reshape", immut.access_reshape), ("permute", immut.access_permute),
+    ("transpose", immut.access_transpose),
+    ("squeeze", immut.access_squeeze), ("unsqueeze", immut.access_unsqueeze),
+    ("expand", immut.access_expand), ("flatten", immut.access_flatten),
+    ("assign", immut.assign), ("select_assign", immut.assign_select),
+    ("slice_assign", immut.assign_slice),
+    ("narrow_assign", immut.assign_narrow),
+    ("reshape_assign", immut.assign_reshape),
+    ("permute_assign", immut.assign_permute),
+    ("transpose_assign", immut.assign_transpose),
+    ("squeeze_assign", immut.assign_squeeze),
+    ("unsqueeze_assign", immut.assign_unsqueeze),
+    ("flatten_assign", immut.assign_flatten),
+]:
+    _pure(f"immut::{_n}", _f, fusable=True)
+
+# ---------------------------------------------------------------------------
+# prim:: scalar arithmetic (host-side, never launches kernels)
+# ---------------------------------------------------------------------------
+
+for _n, _f, _rt in [
+    ("add", operator.add, "Scalar"), ("sub", operator.sub, "Scalar"),
+    ("mul", operator.mul, "Scalar"), ("truediv", operator.truediv, "float"),
+    ("floordiv", operator.floordiv, "int"), ("mod", operator.mod, "Scalar"),
+    ("pow", operator.pow, "Scalar"), ("neg", operator.neg, "Scalar"),
+    ("gt", operator.gt, "bool"), ("lt", operator.lt, "bool"),
+    ("ge", operator.ge, "bool"), ("le", operator.le, "bool"),
+    ("eq", operator.eq, "bool"), ("ne", operator.ne, "bool"),
+    ("and", lambda a, b: a and b, "bool"),
+    ("or", lambda a, b: a or b, "bool"),
+    ("not", operator.not_, "bool"),
+    ("min", min, "Scalar"), ("max", max, "Scalar"),
+]:
+    # scalar ops are fusable: NNC-style kernels accept scalar inputs and
+    # fold host arithmetic into the generated code
+    _pure(f"prim::{_n}", _f, fusable=True, result_types=(_rt,))
+
+# ---------------------------------------------------------------------------
+# prim:: structure
+# ---------------------------------------------------------------------------
+
+register(OpSchema("prim::Constant", OpKind.CONSTANT, None,
+                  result_types=("Any",)))
+register(OpSchema("prim::If", OpKind.CONTROL, None, num_outputs=0))
+register(OpSchema("prim::Loop", OpKind.CONTROL, None, num_outputs=0))
+register(OpSchema("prim::FusionGroup", OpKind.CONTROL, None, num_outputs=0))
+register(OpSchema("prim::ParallelMap", OpKind.CONTROL, None, num_outputs=0))
+register(OpSchema("prim::ListConstruct", OpKind.CONTAINER,
+                  lambda *xs: list(xs), result_types=("List",)))
+register(OpSchema("prim::TupleConstruct", OpKind.CONTAINER,
+                  lambda *xs: tuple(xs), result_types=("Tuple",)))
+register(OpSchema("prim::TupleUnpack", OpKind.CONTAINER, lambda t: tuple(t),
+                  num_outputs=0, result_types=("Any",)))
+register(OpSchema("prim::ListIndex", OpKind.CONTAINER,
+                  lambda xs, i: xs[i], result_types=("Any",)))
+register(OpSchema("aten::append", OpKind.MUTATING,
+                  lambda xs, x: (xs.append(x), xs)[1],
+                  result_types=("List",)))
+register(OpSchema("tssa::update", OpKind.ANNOTATION, None, num_outputs=0))

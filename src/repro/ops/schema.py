@@ -1,0 +1,72 @@
+"""Operator schemas: the single source of truth about op behaviour.
+
+Every IR node's semantics — purity, aliasing, mutability, fusibility,
+its runtime kernel, and (for view ops) its immutable Access/Assign
+counterparts — is described by an :class:`OpSchema`.  The frontend, the
+alias analysis (paper §2.3), the TensorSSA conversion (paper §4.1), the
+fusers, and the interpreter all consult this table instead of hardcoding
+op lists.
+
+Calling convention: *all* operands are IR inputs (dims, slice bounds,
+shapes included), fed through ``prim::Constant`` nodes when static.
+Nodes carry no attributes, which keeps every pass uniform.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+
+class OpKind(enum.Enum):
+    """Behavioural class of an operator."""
+
+    PURE = "pure"          # no side effects, fresh outputs
+    VIEW = "view"          # output aliases input 0 (metadata only)
+    MUTATING = "mutating"  # writes through input 0; output aliases input 0
+    CONSTANT = "constant"  # prim::Constant
+    CONTROL = "control"    # prim::If / prim::Loop / fusion groups
+    CONTAINER = "container"  # list/tuple construct & access
+    ANNOTATION = "annotation"  # tssa::update — no computation semantics
+
+
+@dataclass
+class OpSchema:
+    """Static description of one operator."""
+
+    name: str
+    kind: OpKind
+    #: runtime implementation (None for CONTROL/ANNOTATION ops that the
+    #: interpreter executes structurally)
+    fn: Optional[Callable] = None
+    num_outputs: int = 1
+    #: can the NNC-like fuser pull this op into a fusion group?
+    fusable: bool = False
+    #: for VIEW ops: names of the immutable Access / Assign counterparts
+    #: (paper Definitions 3.3 / 3.4); access has the identical signature,
+    #: assign takes ``(base, src, *view_params)``.
+    access_op: Optional[str] = None
+    assign_op: Optional[str] = None
+    #: for MUTATING ops: name of the pure out-of-place equivalent, when
+    #: one exists with signature ``(input0, *rest) -> out`` (used by the
+    #: TensorSSA rewrite to materialize the mutation's value).
+    functional_op: Optional[str] = None
+    #: output type constructors; see repro.ir.types.infer_types
+    result_types: Sequence[str] = field(default_factory=lambda: ("Tensor",))
+
+    @property
+    def is_view(self) -> bool:
+        return self.kind is OpKind.VIEW
+
+    @property
+    def is_mutating(self) -> bool:
+        return self.kind is OpKind.MUTATING
+
+    @property
+    def has_side_effects(self) -> bool:
+        return self.kind is OpKind.MUTATING
+
+    def __post_init__(self) -> None:
+        if "::" not in self.name:
+            raise ValueError(f"op name must be namespaced: {self.name!r}")

@@ -1,0 +1,52 @@
+"""Constant folding for scalar ``prim::*`` arithmetic.
+
+Folds pure scalar ops whose operands are all constants; leaves tensor
+ops alone (materializing tensor constants would hide memory traffic the
+benchmarks need to observe)."""
+
+from __future__ import annotations
+
+from ..ir.graph import Block, Graph
+from ..ops import registry
+
+_FOLDABLE_PREFIXES = ("prim::add", "prim::sub", "prim::mul",
+                      "prim::truediv", "prim::floordiv", "prim::mod",
+                      "prim::pow", "prim::neg", "prim::gt", "prim::lt",
+                      "prim::ge", "prim::le", "prim::eq", "prim::ne",
+                      "prim::and", "prim::or", "prim::not", "prim::min",
+                      "prim::max")
+
+
+def _fold_block(block: Block, graph: Graph) -> bool:
+    changed = False
+    for node in list(block.nodes):
+        for inner in node.blocks:
+            changed |= _fold_block(inner, graph)
+        if node.op not in _FOLDABLE_PREFIXES:
+            continue
+        payloads = []
+        for v in node.inputs:
+            if v.node is None or v.node.op != "prim::Constant":
+                payloads = None
+                break
+            payloads.append(v.node.attrs["value"])
+        if payloads is None:
+            continue
+        try:
+            result = registry.get(node.op).fn(*payloads)
+        except Exception:
+            continue
+        const = graph.constant(result)
+        block.insert_before(node, const)
+        node.output().replace_all_uses_with(const.output())
+        node.destroy()
+        changed = True
+    return changed
+
+
+def constant_fold(graph: Graph) -> bool:
+    """Fold pure scalar prim:: ops over constant operands, to a fixed point."""
+    changed = False
+    while _fold_block(graph.block, graph):
+        changed = True
+    return changed

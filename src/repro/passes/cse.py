@@ -1,0 +1,85 @@
+"""Common subexpression elimination for pure ops.
+
+Operates per block (no cross-block hoisting); keyed on
+``(op, input identities, constant payload)``.
+
+Soundness around mutation: two textually identical *reads* of a tensor
+are NOT equivalent when its storage is mutated between them, so every
+mutating (or control-flow, which may contain mutation) node flushes
+cached compute entries that touch tensors.  Constants survive (no
+data), and identical *view* ops survive too — a view is metadata, and
+both occurrences alias the very same storage region regardless of what
+was written in between.  On functionalized (TensorSSA) graphs no
+mutations remain and CSE runs at full power.
+"""
+
+from __future__ import annotations
+
+from ..ir import types as T
+from ..ir.graph import Block, Graph, Node
+from ..ops.schema import OpKind
+
+_CSEABLE = (OpKind.PURE, OpKind.CONSTANT, OpKind.VIEW)
+
+
+def _const_key(node: Node):
+    value = node.attrs.get("value")
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        if isinstance(value, list):
+            return ("list",) + tuple(value)
+        return id(value)  # tensors etc. — identity only
+
+
+def _node_key(node: Node):
+    if node.op == "prim::Constant":
+        return ("prim::Constant", type(node.attrs.get("value")).__name__,
+                _const_key(node))
+    return (node.op,) + tuple(id(v) for v in node.inputs)
+
+
+def _reads_tensor_data(node: Node) -> bool:
+    """Does this cached entry's result depend on tensor *contents*?"""
+    if node.op == "prim::Constant":
+        return False
+    if node.kind is OpKind.VIEW:
+        return False  # metadata only; aliases track mutation by design
+    return any(isinstance(v.type, (T.TensorType, T.AnyType, T.ListType,
+                                   T.TupleType))
+               for v in node.inputs)
+
+
+def _cse_block(block: Block) -> bool:
+    changed = False
+    seen = {}
+    for node in list(block.nodes):
+        for inner in node.blocks:
+            changed |= _cse_block(inner)
+        if node.kind in (OpKind.MUTATING, OpKind.CONTROL):
+            # storage may have changed: flush data-dependent entries
+            seen = {k: n for k, n in seen.items()
+                    if not _reads_tensor_data(n)}
+            continue
+        if node.kind not in _CSEABLE or node.blocks:
+            continue
+        if len(node.outputs) != 1:
+            continue
+        key = _node_key(node)
+        prior = seen.get(key)
+        if prior is None:
+            seen[key] = node
+            continue
+        node.output().replace_all_uses_with(prior.output())
+        node.destroy()
+        changed = True
+    return changed
+
+
+def cse(graph: Graph) -> bool:
+    """Deduplicate pure ops per block (mutation-aware); returns True on change."""
+    changed = False
+    while _cse_block(graph.block):
+        changed = True
+    return changed

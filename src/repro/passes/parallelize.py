@@ -1,0 +1,78 @@
+"""Horizontal parallelization (paper §4.2.2).
+
+Once TensorSSA functionalization has made a loop body pure, and that
+body consists entirely of kernel-compilable ops, the whole loop can run
+as a single mapped kernel: iterations no longer dispatch through the
+interpreter, and (on real hardware) independent iterations execute in
+parallel.  This pass marks such loops ``horizontal`` and records the
+free values their bodies capture; the fusion runtime executes them in
+one launch.
+
+Must run *after* TensorSSA conversion (a body containing mutation is
+never eligible) and *before* vertical fusion (so the loop body is still
+raw ops, not an opaque group).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..backend.kernels import OP_IMPLS
+from ..ir.graph import Block, Graph, Node, Value
+
+
+def _body_free_values(body: Block) -> List[Value]:
+    """Values referenced by the body that are defined outside it."""
+    local = {id(p) for p in body.params}
+    for node in body.nodes:
+        for out in node.outputs:
+            local.add(id(out))
+    free: List[Value] = []
+    seen = set()
+
+    def visit(v: Value) -> None:
+        if id(v) in local or id(v) in seen:
+            return
+        seen.add(id(v))
+        free.append(v)
+
+    for node in body.nodes:
+        for v in node.inputs:
+            visit(v)
+    for r in body.returns:
+        visit(r)
+    return free
+
+
+def _is_compilable_body(body: Block) -> bool:
+    if not body.nodes:
+        return False
+    for node in body.nodes:
+        if node.blocks:
+            return False
+        if node.op == "prim::Constant":
+            continue
+        if node.op not in OP_IMPLS or len(node.outputs) != 1:
+            return False
+    return True
+
+
+def _mark_block(block: Block) -> int:
+    count = 0
+    for node in block.nodes:
+        for inner in node.blocks:
+            count += _mark_block(inner)
+        if node.op != "prim::Loop" or node.attrs.get("horizontal"):
+            continue
+        body = node.blocks[0]
+        if not _is_compilable_body(body):
+            continue
+        node.attrs["horizontal"] = True
+        node.attrs["captures"] = _body_free_values(body)
+        count += 1
+    return count
+
+
+def parallelize_loops(graph: Graph) -> int:
+    """Mark eligible loops as horizontal; returns how many."""
+    return _mark_block(graph.block)

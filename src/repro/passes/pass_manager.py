@@ -1,0 +1,36 @@
+"""A tiny pass manager: named passes, optional verification between."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+from ..ir import verify
+from ..ir.graph import Graph
+
+
+@dataclass
+class PassManager:
+    """Runs a sequence of graph passes, verifying after each."""
+
+    passes: List[Tuple[str, Callable[[Graph], object]]] = field(
+        default_factory=list)
+    verify_each: bool = True
+
+    def add(self, name: str, fn: Callable[[Graph], object]) -> "PassManager":
+        self.passes.append((name, fn))
+        return self
+
+    def run(self, graph: Graph) -> dict:
+        """Run all passes; returns {pass_name: pass_result}."""
+        results = {}
+        for name, fn in self.passes:
+            results[name] = fn(graph)
+            if self.verify_each:
+                try:
+                    verify(graph)
+                except AssertionError as exc:
+                    raise AssertionError(
+                        f"IR verification failed after pass {name!r}: "
+                        f"{exc}") from exc
+        return results

@@ -1,0 +1,146 @@
+"""Revert unfused Assign operators back to mutable form (paper §3.2).
+
+"The greatest strength of TensorSSA lies in its flexibility, as the
+operators can either be fused and compiled or be converted back to the
+original mutable operators."
+
+An ``immut::*_assign`` that fusion did not absorb executes as a full
+clone-and-write kernel.  When its base value has no other consumer, the
+clone is wasted: we can steal the base's buffer and write in place —
+``view + copy_`` — exactly the mutable code the conversion started
+from, but now *proven* local (single consumer, same block, no captured
+references), so the side effect cannot escape.
+
+Runs after fusion in the TensorSSA pipeline; the reintroduced mutation
+is invisible to any later pass because none run after it except DCE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import types as T
+from ..ir.graph import Graph, Node, Value
+
+#: assign op -> the view op whose window it writes (None = whole tensor)
+_ASSIGN_TO_VIEW = {
+    "immut::assign": None,
+    "immut::select_assign": "aten::select",
+    "immut::slice_assign": "aten::slice",
+    "immut::narrow_assign": "aten::narrow",
+    "immut::reshape_assign": "aten::reshape",
+    "immut::permute_assign": "aten::permute",
+    "immut::transpose_assign": "aten::transpose",
+    "immut::squeeze_assign": "aten::squeeze",
+    "immut::unsqueeze_assign": "aten::unsqueeze",
+    "immut::flatten_assign": "aten::flatten",
+}
+
+
+def _protected_values(graph: Graph) -> set:
+    """Values referenced from node attrs (horizontal-loop captures):
+    their producers must stay alive under their original identity."""
+    protected = set()
+    for node in graph.walk():
+        for v in node.attrs.get("captures", ()) or ():
+            protected.add(id(v))
+    return protected
+
+
+def _buffer_owner(base: Value) -> Optional[Node]:
+    """The node whose output buffer we would steal, or None when the
+    base does not own its storage (graph input, constant, block param,
+    or a view/alias — mutating those would write through to storage
+    with uses we have not analyzed)."""
+    from ..ops.schema import OpKind
+    node = base.node
+    if node is None or node.op == "prim::Constant":
+        return None
+    if node.kind not in (OpKind.PURE, OpKind.CONTROL):
+        return None
+    if node.kind is OpKind.CONTROL and node.op != "prim::FusionGroup":
+        return None  # If/Loop outputs are control-flow aliases
+    return node
+
+
+def _only_earlier_readers(base: Value, assign: Node) -> bool:
+    """May we overwrite ``base`` at ``assign``'s position?
+
+    Yes iff every other consumer of ``base`` — and, transitively, every
+    consumer of any *alias* of it (view-op outputs) — is a node earlier
+    in the same block: those executions already happened and read the
+    pre-mutation data.  A later use, a block return, or a use in a
+    nested block (re-executed by a loop) blocks the revert."""
+    from ..ops.schema import OpKind
+    block = assign.owning_block
+    order = {id(n): i for i, n in enumerate(block.nodes)}
+    own_pos = order[id(assign)]
+    stack = [base]
+    seen = {id(base)}
+    while stack:
+        value = stack.pop()
+        for use in value.uses:
+            user = use.user
+            if user is assign and value is base:
+                continue
+            if not isinstance(user, Node):
+                return False  # a return reads the old value at the end
+            pos = order.get(id(user))
+            if pos is None or pos >= own_pos:
+                return False
+            if user.kind in (OpKind.VIEW, OpKind.MUTATING) and \
+                    user.inputs and user.input(0) is value:
+                out = user.output()
+                if id(out) not in seen:
+                    seen.add(id(out))
+                    stack.append(out)
+    return True
+
+
+def _revertible_nodes(block):
+    """Walk nodes outside compiled regions: fusion-group bodies and
+    horizontal loop bodies execute as kernels and must stay pure."""
+    for node in block.nodes:
+        if node.op == "prim::FusionGroup":
+            continue
+        if node.op == "prim::Loop" and node.attrs.get("horizontal"):
+            continue
+        yield node
+        for inner in node.blocks:
+            yield from _revertible_nodes(inner)
+
+
+def revert_unfused_assigns(graph: Graph) -> int:
+    """Rewrite single-consumer Assigns into in-place mutation; returns
+    how many were reverted."""
+    protected = _protected_values(graph)
+    count = 0
+    for node in list(_revertible_nodes(graph.block)):
+        view_op = _ASSIGN_TO_VIEW.get(node.op, "missing")
+        if view_op == "missing":
+            continue
+        base, src = node.input(0), node.input(1)
+        if id(node.output()) in protected or id(base) in protected:
+            continue
+        if _buffer_owner(base) is None:
+            continue
+        if base.defining_block() is not node.owning_block:
+            continue  # crossing a loop would accumulate the mutation
+        if not _only_earlier_readers(base, node):
+            continue  # a later reader needs the pre-assign contents
+
+        block = node.owning_block
+        if view_op is None:
+            target = base
+        else:
+            view = graph.create(view_op, [base] + list(node.inputs[2:]),
+                                ["rv"], [T.TensorType()])
+            block.insert_before(node, view)
+            target = view.output()
+        store = graph.create("aten::copy_", [target, src],
+                             [base.name.split(".")[0]], [T.TensorType()])
+        block.insert_before(node, store)
+        node.output().replace_all_uses_with(base)
+        node.destroy()
+        count += 1
+    return count

@@ -1,0 +1,13 @@
+"""repro.pipelines — the five compared compiler pipelines."""
+
+from .base import Compiled, Pipeline, count_graph_stats
+from .dynamo_inductor import DynamoInductorPipeline
+from .eager import EagerPipeline
+from .registry import default_pipelines, get_pipeline, pipelines_by_name
+from .tensorssa_pipeline import TensorSSAPipeline
+from .torchscript import TorchScriptNNCPipeline, TorchScriptNvFuserPipeline
+
+__all__ = ["Pipeline", "Compiled", "count_graph_stats", "EagerPipeline",
+           "TorchScriptNNCPipeline", "TorchScriptNvFuserPipeline",
+           "DynamoInductorPipeline", "TensorSSAPipeline",
+           "default_pipelines", "pipelines_by_name", "get_pipeline"]

@@ -1,0 +1,67 @@
+"""Compiler pipeline interface.
+
+A pipeline takes a Python model function and produces a ``Compiled``
+callable.  All pipelines execute on the same simulated device runtime,
+so kernel-launch counts (Figure 6) and modeled latencies (Figures 5/7/8)
+are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..ir.graph import Graph
+
+
+@dataclass
+class Compiled:
+    """A model function compiled by one pipeline."""
+
+    pipeline: str
+    fn: Callable
+    graph: Optional[Graph] = None
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+
+class Pipeline:
+    """Base class: subclasses implement :meth:`compile`."""
+
+    #: short identifier used in figures ("eager", "tensorssa", ...)
+    name: str = "base"
+    #: display label matching the paper's legend
+    label: str = "base"
+    #: host-overhead class used by the analytical cost model:
+    #: per-launch dispatch cost and per-control-flow-step cost keys
+    host_profile: str = "interpreter"
+    #: tracing pipelines specialize on example input shapes and must be
+    #: recompiled when shapes change
+    needs_example_inputs: bool = False
+    #: multiplier on per-kernel device work time: >1 models less
+    #: efficient generated kernels (strided/gather layouts); the paper
+    #: credits functionalization with dense layouts (S5.3)
+    device_penalty: float = 1.0
+
+    def compile(self, model_fn: Callable, example_args=None) -> Compiled:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<Pipeline {self.name}>"
+
+
+def count_graph_stats(graph: Graph) -> Dict[str, int]:
+    """Node / fusion-group / horizontal-loop / mutation counts for a graph."""
+    stats = {"nodes": 0, "fusion_groups": 0, "horizontal_loops": 0,
+             "mutating_ops": 0}
+    for node in graph.walk():
+        stats["nodes"] += 1
+        if node.op == "prim::FusionGroup":
+            stats["fusion_groups"] += 1
+        if node.op == "prim::Loop" and node.attrs.get("horizontal"):
+            stats["horizontal_loops"] += 1
+        if node.schema.is_mutating:
+            stats["mutating_ops"] += 1
+    return stats

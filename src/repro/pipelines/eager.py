@@ -1,0 +1,21 @@
+"""PyTorch-eager-style execution: the speedup baseline of Figure 5."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Compiled, Pipeline
+
+
+class EagerPipeline(Pipeline):
+    """No compilation: the Python function runs op by op on the
+    imperative runtime, one kernel launch per compute op plus framework
+    dispatch overhead on every call."""
+
+    name = "eager"
+    label = "PyTorch Eager"
+    host_profile = "eager"
+
+    def compile(self, model_fn: Callable, example_args=None) -> Compiled:
+        return Compiled(pipeline=self.name, fn=model_fn, graph=None,
+                        stats={"note": "uncompiled"})

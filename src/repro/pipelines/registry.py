@@ -1,0 +1,36 @@
+"""Pipeline registry: the five compared systems of the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Pipeline
+from .dynamo_inductor import DynamoInductorPipeline
+from .eager import EagerPipeline
+from .tensorssa_pipeline import TensorSSAPipeline
+from .torchscript import TorchScriptNNCPipeline, TorchScriptNvFuserPipeline
+
+
+def default_pipelines() -> List[Pipeline]:
+    """Figure 5's lineup, in legend order."""
+    return [
+        EagerPipeline(),
+        DynamoInductorPipeline(),
+        TorchScriptNvFuserPipeline(),
+        TorchScriptNNCPipeline(),
+        TensorSSAPipeline(),
+    ]
+
+
+def pipelines_by_name() -> Dict[str, Pipeline]:
+    """The default pipelines keyed by their names."""
+    return {p.name: p for p in default_pipelines()}
+
+
+def get_pipeline(name: str) -> Pipeline:
+    """Look up a pipeline by name."""
+    table = pipelines_by_name()
+    if name not in table:
+        raise KeyError(f"unknown pipeline {name!r}; "
+                       f"choose from {sorted(table)}")
+    return table[name]

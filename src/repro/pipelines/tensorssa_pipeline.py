@@ -1,0 +1,78 @@
+"""The TensorSSA pipeline — the paper's system.
+
+script -> TensorSSA conversion (Algorithm 1, holistic: crosses control
+flow) -> cleanup -> horizontal parallelization (§4.2.2) -> vertical
+fusion (§4.2.1) -> cleanup.
+
+Ablation switches let the benchmarks quantify each technique:
+``horizontal=False`` disables loop parallelization; ``vertical=False``
+disables fusion; ``intra_block_only=True`` degrades the conversion to
+data-flow-only functionalization (what tracing compilers achieve).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..backend.interpreter import run_graph
+from ..frontend import script
+from ..ir import verify
+from ..ir.clone import clone_graph
+from ..passes import (FuserConfig, PassManager, canonicalize, constant_fold,
+                      cse, dce, fuse, parallelize_loops)
+from ..passes.revert import revert_unfused_assigns
+from ..tensorssa import convert_to_tensorssa
+from .base import Compiled, Pipeline, count_graph_stats
+
+
+class TensorSSAPipeline(Pipeline):
+    """The paper's pipeline: holistic functionalization, horizontal parallelization, vertical fusion (each ablatable)."""
+    name = "tensorssa"
+    label = "TensorSSA (ours)"
+    host_profile = "interpreter"
+
+    def __init__(self, vertical: bool = True, horizontal: bool = True,
+                 intra_block_only: bool = False, revert_unfused: bool = True,
+                 name: str = None) -> None:
+        self.vertical = vertical
+        self.horizontal = horizontal
+        self.intra_block_only = intra_block_only
+        self.revert_unfused = revert_unfused
+        if name is not None:
+            self.name = name
+
+    def compile(self, model_fn: Callable, example_args=None) -> Compiled:
+        scripted = script(model_fn)
+        graph = clone_graph(scripted.graph, name=self.name)
+        report = convert_to_tensorssa(
+            graph, intra_block_only=self.intra_block_only)
+        pm = (PassManager()
+              .add("dce", dce)
+              .add("cse", cse)
+              .add("constant_fold", constant_fold)
+              .add("canonicalize", canonicalize))
+        if self.horizontal:
+            pm.add("parallelize", parallelize_loops)
+        if self.vertical:
+            pm.add("fuse", lambda g: fuse(
+                g, FuserConfig(name="tensorssa", fuse_views=True)))
+        if self.revert_unfused:
+            # paper S3.2: unfused Assigns may be converted back to the
+            # original mutable operators (in-place buffer reuse)
+            pm.add("revert", revert_unfused_assigns)
+        pm.add("dce2", dce)
+        results = pm.run(graph)
+        verify(graph)
+        stats = count_graph_stats(graph)
+        stats["functionalized"] = report.num_rewritten
+        stats["skipped_mutations"] = len(report.skipped)
+        stats["skip_reasons"] = report.skipped
+        stats["pass_results"] = {k: v for k, v in results.items()
+                                 if isinstance(v, (int, bool))}
+
+        def run(*args):
+            outs = run_graph(graph, args)
+            return outs[0] if len(outs) == 1 else tuple(outs)
+
+        return Compiled(pipeline=self.name, fn=run, graph=graph,
+                        stats=stats)

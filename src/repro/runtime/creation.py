@@ -1,0 +1,100 @@
+"""Tensor creation operators."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .dtype import DType, float32, int64
+from .tensor import Scalar, Tensor, record_op
+
+
+def tensor(data, dtype: Optional[DType] = None) -> Tensor:
+    """Build a tensor from (nested) Python data or a numpy array."""
+    arr = np.array(data, dtype=dtype.np if dtype else None)
+    if dtype is None and arr.dtype == np.float64:
+        arr = arr.astype(np.float32)
+    return Tensor.from_array(arr, copy=False)
+
+
+def from_numpy(array: np.ndarray) -> Tensor:
+    """Wrap a numpy array (copies, to guarantee storage ownership)."""
+    return Tensor.from_array(array, copy=True)
+
+
+def zeros(shape: Sequence[int], dtype: DType = float32) -> Tensor:
+    """Create a fresh ``zeros`` tensor (one allocation kernel)."""
+    out = Tensor.from_array(np.zeros(tuple(shape), dtype.np), copy=False)
+    record_op("zeros", [], [out], flops=0)
+    return out
+
+
+def ones(shape: Sequence[int], dtype: DType = float32) -> Tensor:
+    """Create a fresh ``ones`` tensor (one allocation kernel)."""
+    out = Tensor.from_array(np.ones(tuple(shape), dtype.np), copy=False)
+    record_op("ones", [], [out], flops=0)
+    return out
+
+
+def full(shape: Sequence[int], value: Scalar,
+         dtype: DType = float32) -> Tensor:
+    """Create a fresh ``full`` tensor (one allocation kernel)."""
+    out = Tensor.from_array(np.full(tuple(shape), value, dtype.np),
+                            copy=False)
+    record_op("full", [], [out], flops=0)
+    return out
+
+
+def empty(shape: Sequence[int], dtype: DType = float32) -> Tensor:
+    """Uninitialized storage — deterministically zeroed here so tests
+    never depend on garbage memory."""
+    out = Tensor.from_array(np.zeros(tuple(shape), dtype.np), copy=False)
+    record_op("empty", [], [out], flops=0)
+    return out
+
+
+def arange(start, end=None, step=1, dtype: DType = int64) -> Tensor:
+    """Create a fresh ``arange`` tensor (one allocation kernel)."""
+    if end is None:
+        start, end = 0, start
+    out = Tensor.from_array(np.arange(start, end, step, dtype=dtype.np),
+                            copy=False)
+    record_op("arange", [], [out], flops=0)
+    return out
+
+
+def zeros_like(t: Tensor) -> Tensor:
+    """Create a fresh ``zeros_like`` tensor (one allocation kernel)."""
+    return zeros(t.shape, t.dtype)
+
+
+def ones_like(t: Tensor) -> Tensor:
+    """Create a fresh ``ones_like`` tensor (one allocation kernel)."""
+    return ones(t.shape, t.dtype)
+
+
+def full_like(t: Tensor, value: Scalar) -> Tensor:
+    """Create a fresh ``full_like`` tensor (one allocation kernel)."""
+    return full(t.shape, value, t.dtype)
+
+
+def rand(shape: Sequence[int], seed: Optional[int] = None,
+         dtype: DType = float32) -> Tensor:
+    """Uniform [0, 1) — seeded explicitly (no hidden global RNG state in
+    compiled regions; workloads pre-generate inputs with this)."""
+    rng = np.random.default_rng(seed)
+    out = Tensor.from_array(rng.random(tuple(shape)).astype(dtype.np),
+                            copy=False)
+    record_op("rand", [], [out], flops=0)
+    return out
+
+
+def randn(shape: Sequence[int], seed: Optional[int] = None,
+          dtype: DType = float32) -> Tensor:
+    """Create a fresh ``randn`` tensor (one allocation kernel)."""
+    rng = np.random.default_rng(seed)
+    out = Tensor.from_array(
+        rng.standard_normal(tuple(shape)).astype(dtype.np), copy=False)
+    record_op("randn", [], [out], flops=0)
+    return out

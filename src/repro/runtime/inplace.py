@@ -1,0 +1,173 @@
+"""In-place (mutating) operators — the paper's ``Mutate`` set.
+
+Every function here writes through its first argument's storage (and
+therefore through *every alias* of it), bumps the storage version, and
+returns the mutated tensor, mirroring PyTorch's ``op_`` convention.
+These are exactly the operators TensorSSA rewrites into pure
+``immut::*_assign`` forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Scalar, Tensor, as_tensor, record_op, write_through
+
+
+def _inplace_binary(op: str, fn, target: Tensor, other) -> Tensor:
+    t, o = as_tensor(target), as_tensor(other)
+    write_through(t, fn(t._array, o._array).astype(t.dtype.np, copy=False))
+    record_op(op, [t, o], [t])
+    return t
+
+
+def _inplace_unary(op: str, fn, target: Tensor,
+                   flops_per_elem: int = 1) -> Tensor:
+    t = as_tensor(target)
+    write_through(t, fn(t._array).astype(t.dtype.np, copy=False))
+    record_op(op, [t], [t], flops=t.numel * flops_per_elem)
+    return t
+
+
+def copy_(target: Tensor, src) -> Tensor:
+    """``target.copy_(src)``: overwrite target's data with (broadcast)
+    ``src``.  The canonical partial-mutation op of the paper (Fig. 1)."""
+    t, s = as_tensor(target), as_tensor(src)
+    write_through(t, np.broadcast_to(
+        s._array.astype(t.dtype.np, copy=False), t.shape))
+    record_op("copy_", [t, s], [t], flops=0)
+    return t
+
+
+def fill_(target: Tensor, value: Scalar) -> Tensor:
+    """In-place ``fill``: writes through the target's storage (and all its aliases)."""
+    t = as_tensor(target)
+    write_through(t, np.full(t.shape, value, dtype=t.dtype.np))
+    record_op("fill_", [t], [t], flops=0)
+    return t
+
+
+def zero_(target: Tensor) -> Tensor:
+    """In-place ``zero``: writes through the target's storage (and all its aliases)."""
+    return fill_(target, 0)
+
+
+def add_(target: Tensor, other) -> Tensor:
+    """In-place ``add``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("add_", np.add, target, other)
+
+
+def sub_(target: Tensor, other) -> Tensor:
+    """In-place ``sub``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("sub_", np.subtract, target, other)
+
+
+def mul_(target: Tensor, other) -> Tensor:
+    """In-place ``mul``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("mul_", np.multiply, target, other)
+
+
+def div_(target: Tensor, other) -> Tensor:
+    """In-place ``div``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("div_", np.true_divide, target, other)
+
+
+def pow_(target: Tensor, other) -> Tensor:
+    """In-place ``pow``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("pow_", np.power, target, other)
+
+
+def maximum_(target: Tensor, other) -> Tensor:
+    """In-place ``maximum``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("maximum_", np.maximum, target, other)
+
+
+def minimum_(target: Tensor, other) -> Tensor:
+    """In-place ``minimum``: writes through the target's storage (and all its aliases)."""
+    return _inplace_binary("minimum_", np.minimum, target, other)
+
+
+def neg_(target: Tensor) -> Tensor:
+    """In-place ``neg``: writes through the target's storage (and all its aliases)."""
+    return _inplace_unary("neg_", np.negative, target)
+
+
+def exp_(target: Tensor) -> Tensor:
+    """In-place ``exp``: writes through the target's storage (and all its aliases)."""
+    return _inplace_unary("exp_", np.exp, target, flops_per_elem=4)
+
+
+def sigmoid_(target: Tensor) -> Tensor:
+    """In-place ``sigmoid``: writes through the target's storage (and all its aliases)."""
+    return _inplace_unary("sigmoid_", lambda x: 1.0 / (1.0 + np.exp(-x)),
+                          target, flops_per_elem=6)
+
+
+def tanh_(target: Tensor) -> Tensor:
+    """In-place ``tanh``: writes through the target's storage (and all its aliases)."""
+    return _inplace_unary("tanh_", np.tanh, target, flops_per_elem=6)
+
+
+def relu_(target: Tensor) -> Tensor:
+    """In-place ``relu``: writes through the target's storage (and all its aliases)."""
+    return _inplace_unary("relu_", lambda x: np.maximum(x, 0), target)
+
+
+def sqrt_(target: Tensor) -> Tensor:
+    """In-place ``sqrt``: writes through the target's storage (and all its aliases)."""
+    return _inplace_unary("sqrt_", np.sqrt, target, flops_per_elem=2)
+
+
+def clamp_(target: Tensor, min_val: Scalar = None,
+           max_val: Scalar = None) -> Tensor:
+    """In-place ``clamp``: writes through the target's storage (and all its aliases)."""
+    t = as_tensor(target)
+    lo = -np.inf if min_val is None else min_val
+    hi = np.inf if max_val is None else max_val
+    write_through(t, np.clip(t._array, lo, hi))
+    record_op("clamp_", [t], [t], flops=t.numel * 2)
+    return t
+
+
+def masked_fill_(target: Tensor, mask: Tensor, value: Scalar) -> Tensor:
+    """In-place ``masked_fill``: writes through the target's storage (and all its aliases)."""
+    t, m = as_tensor(target), as_tensor(mask)
+    write_through(t, np.where(np.broadcast_to(m._array, t.shape),
+                              np.asarray(value, dtype=t.dtype.np),
+                              t._array))
+    record_op("masked_fill_", [t, m], [t])
+    return t
+
+
+def masked_scatter_(target: Tensor, mask: Tensor, src: Tensor) -> Tensor:
+    """In-place ``masked_scatter``: writes through the target's storage (and all its aliases)."""
+    t, m, s = as_tensor(target), as_tensor(mask), as_tensor(src)
+    new = np.array(t._array, copy=True)
+    bmask = np.broadcast_to(m._array, t.shape)
+    n = int(bmask.sum())
+    new[bmask] = s._array.reshape(-1)[:n].astype(t.dtype.np, copy=False)
+    write_through(t, new)
+    record_op("masked_scatter_", [t, m, s], [t])
+    return t
+
+
+def index_put_(target: Tensor, index: Tensor, src: Tensor) -> Tensor:
+    """``target[index] = src`` with an integer index tensor on dim 0."""
+    t, i, s = as_tensor(target), as_tensor(index), as_tensor(src)
+    new = np.array(t._array, copy=True)
+    new[i._array] = s._array.astype(t.dtype.np, copy=False)
+    write_through(t, new)
+    record_op("index_put_", [t, i, s], [t])
+    return t
+
+
+def index_fill_(target: Tensor, dim: int, index: Tensor,
+                value: Scalar) -> Tensor:
+    """In-place ``index_fill``: writes through the target's storage (and all its aliases)."""
+    t, i = as_tensor(target), as_tensor(index)
+    new = np.array(t._array, copy=True)
+    key = (slice(None),) * int(dim) + (i._array,)
+    new[key] = value
+    write_through(t, new)
+    record_op("index_fill_", [t, i], [t])
+    return t

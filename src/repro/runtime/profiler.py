@@ -1,0 +1,100 @@
+"""Kernel-launch accounting for the simulated device.
+
+The paper's Figure 6 counts *kernel launches*; its cost model intuition
+is that every device op pays a fixed launch overhead plus memory/compute
+time.  This module records one ``KernelEvent`` per launch.  View ops are
+metadata-only and record nothing (as on a real GPU); fused groups record
+a single event that aggregates the bytes/flops of their member ops.
+
+Usage::
+
+    with profile() as prof:
+        run_model()
+    prof.num_launches, prof.total_bytes, prof.total_flops
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class KernelEvent:
+    """One device kernel launch."""
+
+    op: str
+    bytes: int = 0
+    flops: int = 0
+    fused_ops: int = 1  # how many logical ops this launch covers
+
+
+@dataclass
+class PythonEvent:
+    """One host-side interpreter step that a compiled pipeline could not
+    remove (e.g. a TorchDynamo graph break, eager dispatch overhead)."""
+
+    kind: str
+    count: int = 1
+
+
+@dataclass
+class Profile:
+    """Accumulated events for one profiled region."""
+
+    events: List[KernelEvent] = field(default_factory=list)
+    python_events: List[PythonEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.bytes for e in self.events)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(e.flops for e in self.events)
+
+    @property
+    def num_python_steps(self) -> int:
+        return sum(e.count for e in self.python_events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.python_events.clear()
+
+
+_stack: List[Profile] = []
+
+
+def current_profile() -> Optional[Profile]:
+    """The innermost active profile, or None when not profiling."""
+    return _stack[-1] if _stack else None
+
+
+@contextmanager
+def profile() -> Iterator[Profile]:
+    """Collect kernel launches executed inside the ``with`` body."""
+    prof = Profile()
+    _stack.append(prof)
+    try:
+        yield prof
+    finally:
+        _stack.pop()
+
+
+def record_launch(op: str, nbytes: int = 0, flops: int = 0,
+                  fused_ops: int = 1) -> None:
+    """Record one kernel launch on every active profile."""
+    for prof in _stack:
+        prof.events.append(KernelEvent(op, int(nbytes), int(flops), fused_ops))
+
+
+def record_python(kind: str, count: int = 1) -> None:
+    """Record host-side interpreter work (dispatch / graph-break cost)."""
+    for prof in _stack:
+        prof.python_events.append(PythonEvent(kind, count))

@@ -1,0 +1,114 @@
+"""Reduction and normalization operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtype import DType, int64
+from .tensor import Tensor, as_tensor, record_op
+
+
+def _reduce(op: str, fn, a: Tensor, dim=None, keepdim: bool = False,
+            out_dtype: DType = None) -> Tensor:
+    ta = as_tensor(a)
+    axis = dim if dim is None else int(dim)
+    out_arr = fn(ta._array, axis=axis, keepdims=keepdim if dim is not None
+                 else False)
+    out_arr = np.asarray(out_arr)
+    if out_dtype is not None:
+        out_arr = out_arr.astype(out_dtype.np)
+    elif out_arr.dtype == np.float64 and ta.dtype.np != np.float64:
+        out_arr = out_arr.astype(np.float32)
+    out = Tensor.from_array(out_arr, copy=False)
+    record_op(op, [ta], [out], flops=ta.numel)
+    return out
+
+
+def sum(a, dim=None, keepdim: bool = False) -> Tensor:  # noqa: A001
+    """``sum`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    return _reduce("sum", np.sum, a, dim, keepdim)
+
+
+def mean(a, dim=None, keepdim: bool = False) -> Tensor:
+    """``mean`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    return _reduce("mean", np.mean, a, dim, keepdim)
+
+
+def max(a, dim=None, keepdim: bool = False) -> Tensor:  # noqa: A001
+    """``max`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    return _reduce("max", np.max, a, dim, keepdim)
+
+
+def min(a, dim=None, keepdim: bool = False) -> Tensor:  # noqa: A001
+    """``min`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    return _reduce("min", np.min, a, dim, keepdim)
+
+
+def argmax(a, dim=None, keepdim: bool = False) -> Tensor:
+    """``argmax`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    ta = as_tensor(a)
+    axis = dim if dim is None else int(dim)
+    out_arr = np.argmax(ta._array, axis=axis)
+    if keepdim and dim is not None:
+        out_arr = np.expand_dims(out_arr, axis)
+    out = Tensor.from_array(np.asarray(out_arr, dtype=np.int64), copy=False)
+    record_op("argmax", [ta], [out], flops=ta.numel)
+    return out
+
+
+def argmin(a, dim=None, keepdim: bool = False) -> Tensor:
+    """``argmin`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    ta = as_tensor(a)
+    axis = dim if dim is None else int(dim)
+    out_arr = np.argmin(ta._array, axis=axis)
+    if keepdim and dim is not None:
+        out_arr = np.expand_dims(out_arr, axis)
+    out = Tensor.from_array(np.asarray(out_arr, dtype=np.int64), copy=False)
+    record_op("argmin", [ta], [out], flops=ta.numel)
+    return out
+
+
+def any_(a, dim=None, keepdim: bool = False) -> Tensor:
+    """``any`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    return _reduce("any", np.any, a, dim, keepdim)
+
+
+def all_(a, dim=None, keepdim: bool = False) -> Tensor:
+    """``all`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    return _reduce("all", np.all, a, dim, keepdim)
+
+
+def cumsum(a, dim: int) -> Tensor:
+    """``cumsum`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    ta = as_tensor(a)
+    out = Tensor.from_array(np.cumsum(ta._array, axis=int(dim)), copy=False)
+    record_op("cumsum", [ta], [out], flops=ta.numel)
+    return out
+
+
+def softmax(a, dim: int) -> Tensor:
+    """Numerically stable softmax along ``dim`` — one fused-style kernel
+    in eager mode (mirrors a library softmax implementation)."""
+    ta = as_tensor(a)
+    x = ta._array
+    shifted = x - np.max(x, axis=int(dim), keepdims=True)
+    e = np.exp(shifted)
+    out_arr = e / np.sum(e, axis=int(dim), keepdims=True)
+    out = Tensor.from_array(out_arr.astype(ta.dtype.np), copy=False)
+    record_op("softmax", [ta], [out], flops=ta.numel * 8)
+    return out
+
+
+def log_softmax(a, dim: int) -> Tensor:
+    """``log_softmax`` reduction over all elements or one ``dim`` (one kernel launch)."""
+    ta = as_tensor(a)
+    x = ta._array
+    shifted = x - np.max(x, axis=int(dim), keepdims=True)
+    out_arr = shifted - np.log(np.sum(np.exp(shifted), axis=int(dim),
+                                      keepdims=True))
+    out = Tensor.from_array(out_arr.astype(ta.dtype.np), copy=False)
+    record_op("log_softmax", [ta], [out], flops=ta.numel * 8)
+    return out
+
+
+_ = int64  # re-exported for convenience in callers

@@ -1,0 +1,40 @@
+"""Tensor storage: the unit of memory ownership and mutation tracking.
+
+Every concrete tensor owns (or views) exactly one ``Storage``.  A view
+tensor shares the storage of its base; an in-place operator mutates the
+storage and bumps its version counter.  The version counter is what lets
+tests and the functionalization pass *prove* that a converted (pure)
+program no longer mutates anything.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+_storage_ids = itertools.count()
+
+
+class Storage:
+    """A flat, owning buffer of elements plus a mutation version counter."""
+
+    __slots__ = ("buffer", "version", "id")
+
+    def __init__(self, buffer: np.ndarray) -> None:
+        # The buffer is kept as the *owning* ndarray; views into it are
+        # ordinary numpy views so aliasing semantics come for free.
+        self.buffer = buffer
+        self.version = 0
+        self.id = next(_storage_ids)
+
+    @property
+    def nbytes(self) -> int:
+        return self.buffer.nbytes
+
+    def bump(self) -> None:
+        """Record that the underlying data was mutated in place."""
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return f"Storage(id={self.id}, nbytes={self.nbytes}, version={self.version})"

@@ -1,0 +1,5 @@
+"""repro.tensorssa — the paper's core contribution (Algorithm 1)."""
+
+from .convert import ConversionReport, convert_to_tensorssa
+
+__all__ = ["convert_to_tensorssa", "ConversionReport"]

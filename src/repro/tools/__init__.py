@@ -1,0 +1,5 @@
+"""repro.tools — developer introspection utilities."""
+
+from .inspect import inspect_workload, op_histogram, print_report
+
+__all__ = ["inspect_workload", "op_histogram", "print_report"]

@@ -1,0 +1,104 @@
+"""Compilation introspection: what did each pipeline do to a model?
+
+``python -m repro.tools.inspect lstm`` prints, per pipeline: an op
+histogram before/after, fusion-group sizes, horizontal loops, launch
+counts, and modeled latency — the report you reach for when a workload
+doesn't speed up as expected.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from typing import Dict, List, Optional
+
+import repro.runtime as rt
+from ..eval.harness import clone_args
+from ..eval.platforms import get_platform
+from ..frontend import script
+from ..ir.graph import Graph
+from ..models import get_workload
+from ..pipelines import default_pipelines
+
+
+def op_histogram(graph: Graph) -> Dict[str, int]:
+    """Op-name -> occurrence count over the whole graph."""
+    return dict(Counter(n.op for n in graph.walk()))
+
+
+def group_sizes(graph: Graph) -> List[int]:
+    """Member counts of each fusion group, largest first."""
+    return sorted((n.attrs.get("num_member_ops", 0)
+                   for n in graph.walk()
+                   if n.op == "prim::FusionGroup"), reverse=True)
+
+
+def inspect_workload(name: str, platform: str = "datacenter",
+                     batch_size: int = 1, seq_len: int = 32,
+                     pipelines=None) -> Dict[str, dict]:
+    """Structured compile/run report for every pipeline."""
+    wl = get_workload(name)
+    plat = get_platform(platform)
+    args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len)
+    source_graph = script(wl.model_fn).graph
+    report: Dict[str, dict] = {
+        "__source__": {"ops": op_histogram(source_graph)},
+    }
+    for pipe in (pipelines or default_pipelines()):
+        compiled = pipe.compile(wl.model_fn, example_args=args)
+        with rt.profile() as prof:
+            compiled(*clone_args(args))
+        entry = {
+            "launches": prof.num_launches,
+            "latency_us": plat.latency_us(prof, pipe.host_profile,
+                                          pipe.device_penalty),
+            "host_us": plat.host_time_us(prof, pipe.host_profile),
+            "device_us": plat.device_time_us(prof, pipe.device_penalty),
+            "stats": {k: v for k, v in compiled.stats.items()
+                      if isinstance(v, (int, bool))},
+        }
+        if compiled.graph is not None:
+            entry["ops"] = op_histogram(compiled.graph)
+            entry["group_sizes"] = group_sizes(compiled.graph)
+        report[pipe.name] = entry
+    return report
+
+
+def _fmt_hist(hist: Dict[str, int], top: int = 8) -> str:
+    items = sorted(hist.items(), key=lambda kv: -kv[1])[:top]
+    return ", ".join(f"{op.split('::')[-1]}x{n}" for op, n in items)
+
+
+def print_report(name: str, report: Dict[str, dict]) -> None:
+    """Pretty-print an :func:`inspect_workload` report."""
+    print(f"=== {name} ===")
+    print(f"source ops: {_fmt_hist(report['__source__']['ops'])}")
+    for pipe, entry in report.items():
+        if pipe == "__source__":
+            continue
+        print(f"\n[{pipe}] launches={entry['launches']} "
+              f"latency={entry['latency_us']:.1f}us "
+              f"(host {entry['host_us']:.1f} / "
+              f"device {entry['device_us']:.1f})")
+        if "group_sizes" in entry and entry["group_sizes"]:
+            print(f"  fusion groups: {entry['group_sizes']}")
+        if "ops" in entry:
+            print(f"  compiled ops: {_fmt_hist(entry['ops'])}")
+        interesting = {k: v for k, v in entry["stats"].items()
+                       if k in ("functionalized", "skipped_mutations",
+                                "horizontal_loops", "mutating_ops")}
+        if interesting:
+            print(f"  {interesting}")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """CLI entry point."""
+    argv = argv if argv is not None else sys.argv[1:]
+    names = argv or ["lstm"]
+    for name in names:
+        print_report(name, inspect_workload(name))
+        print()
+
+
+if __name__ == "__main__":
+    main()

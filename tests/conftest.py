@@ -1,0 +1,37 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+
+
+def assert_tensor_equal(a, b, rtol=1e-5, atol=1e-6, msg=""):
+    """Compare two runtime Tensors (or Tensor vs ndarray)."""
+    arr_a = a.numpy() if isinstance(a, rt.Tensor) else np.asarray(a)
+    arr_b = b.numpy() if isinstance(b, rt.Tensor) else np.asarray(b)
+    assert arr_a.shape == arr_b.shape, \
+        f"shape mismatch {arr_a.shape} vs {arr_b.shape} {msg}"
+    np.testing.assert_allclose(arr_a, arr_b, rtol=rtol, atol=atol,
+                               err_msg=msg)
+
+
+def assert_outputs_equal(got, expected, msg=""):
+    """Compare pipeline outputs: tensors, scalars, or (nested) tuples."""
+    if isinstance(expected, (tuple, list)):
+        assert isinstance(got, (tuple, list)), f"expected a tuple {msg}"
+        assert len(got) == len(expected), \
+            f"arity mismatch: {len(got)} vs {len(expected)} {msg}"
+        for i, (g, e) in enumerate(zip(got, expected)):
+            assert_outputs_equal(g, e, msg=f"{msg}[{i}]")
+    elif isinstance(expected, rt.Tensor):
+        assert_tensor_equal(got, expected, msg=msg)
+    else:
+        assert got == pytest.approx(expected), msg
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

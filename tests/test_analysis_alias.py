@@ -1,0 +1,209 @@
+"""Alias analysis: graph construction, T-sets, eligibility (paper §2.3)."""
+
+import pytest
+
+import repro.runtime as rt
+from repro.analysis import AliasGraph
+from repro.frontend import script
+
+
+def build(fn):
+    scripted = script(fn)
+    return scripted.graph, AliasGraph(scripted.graph)
+
+
+# -- scriptable programs used as fixtures -----------------------------------
+
+def straight_views(x):
+    a = x.select(0, 0)
+    b = a.slice(0, 0, 2)
+    b.fill_(1.0)
+    return x.sum()
+
+
+def two_origins(x, y):
+    x[0] = 1.0
+    y[0] = 2.0
+    return x.sum() + y.sum()
+
+
+def whole_and_partial(x):
+    y = x.clone()
+    y += 1.0          # whole mutation
+    y[0] = 5.0        # partial mutation
+    return y
+
+
+def list_escape_before_mutation(x):
+    y = x.clone()
+    parts = [y]
+    y[0] = 1.0
+    return rt.cat(parts, 0)
+
+
+def list_escape_after_mutation(x):
+    y = x.clone()
+    y[0] = 1.0
+    parts = [y, y]
+    return rt.cat(parts, 0)
+
+
+def expand_mutation_chain(x):
+    y = x.clone()
+    v = y.unsqueeze(0).expand((4, 3))
+    return v.sum()
+
+
+def loop_carried_escape(x, n: int):
+    y = x.clone()
+    acc = y  # alias kept across the loop
+    for i in range(n):
+        y = y + 1.0
+    y2 = y.clone()
+    y2[0] = 0.0
+    return acc.sum() + y2.sum()
+
+
+class TestAliasGraphStructure:
+    def test_view_chain_root(self):
+        graph, alias = build(straight_views)
+        fill = graph.nodes_of("aten::fill_")[0]
+        target = fill.input(0)
+        root = alias.view_root(target)
+        assert root is graph.inputs[0]
+
+    def test_view_closure_collects_chain(self):
+        graph, alias = build(straight_views)
+        closure = alias.view_closure(graph.inputs[0])
+        # select, slice, and the fill_ output (identity alias)
+        assert len(closure) == 3
+
+    def test_must_alias_within_chain(self):
+        graph, alias = build(straight_views)
+        select_out = graph.nodes_of("aten::select")[0].output()
+        slice_out = graph.nodes_of("aten::slice")[0].output()
+        assert alias.must_alias(select_out, slice_out)
+        assert alias.must_alias(select_out, graph.inputs[0])
+
+    def test_distinct_origins_do_not_alias(self):
+        graph, alias = build(two_origins)
+        x, y = graph.inputs
+        assert not alias.must_alias(x, y)
+        assert not alias.may_alias(x, y)
+
+    def test_mutations_recorded_in_program_order(self):
+        graph, alias = build(two_origins)
+        assert [m.node.op for m in alias.mutations] == \
+            ["aten::copy_", "aten::copy_"] or \
+            [m.node.op for m in alias.mutations] == \
+            ["aten::fill_", "aten::fill_"]
+
+    def test_storage_set_of_view(self):
+        graph, alias = build(straight_views)
+        slice_out = graph.nodes_of("aten::slice")[0].output()
+        sset = alias.storage_set(slice_out)
+        assert id(graph.inputs[0]) in sset
+        assert len(sset) == 1
+
+    def test_storage_set_through_list(self):
+        graph, alias = build(list_escape_after_mutation)
+        clone_out = graph.nodes_of("aten::clone")[0].output()
+        cat_in_list = graph.nodes_of("prim::ListConstruct")[0].output()
+        # the container's contents are not the container's own aliases,
+        # but ListIndex-style extraction would reach the clone
+        assert id(clone_out) in alias.storage_set(clone_out)
+        assert cat_in_list is not None
+
+
+class TestTSets:
+    def test_tset_shape(self):
+        graph, alias = build(straight_views)
+        tsets = alias.tsets()
+        assert len(tsets) == 1
+        tset = tsets[0]
+        assert tset.origin is graph.inputs[0]
+        assert len(tset.mutations) == 1
+        assert tset.eligible
+
+    def test_two_origins_two_tsets(self):
+        _, alias = build(two_origins)
+        tsets = alias.tsets()
+        assert len(tsets) == 2
+        assert all(t.eligible for t in tsets)
+
+    def test_whole_and_partial_same_tset(self):
+        _, alias = build(whole_and_partial)
+        tsets = alias.tsets()
+        assert len(tsets) == 1
+        assert len(tsets[0].mutations) == 2
+        assert tsets[0].eligible
+
+
+class TestEligibility:
+    def test_container_escape_before_mutation_is_ineligible(self):
+        _, alias = build(list_escape_before_mutation)
+        tset = alias.tsets()[0]
+        assert not tset.eligible
+        assert "container" in tset.reason
+
+    def test_container_escape_after_mutation_is_fine(self):
+        _, alias = build(list_escape_after_mutation)
+        tset = alias.tsets()[0]
+        assert tset.eligible, tset.reason
+
+    def test_mutation_through_expand_is_ineligible(self):
+        def f(x):
+            y = x.clone()
+            v = y.unsqueeze(0).expand((2, 3))
+            v.masked_fill_(v > 0, 0.0)
+            return y
+        # our runtime rejects writes through broadcast views, so this
+        # is only checkable at the analysis level
+        alias = AliasGraph(script(f).graph)
+        tset = alias.tsets()[0]
+        assert not tset.eligible
+        assert "expand" in tset.reason or "Assign inverse" in tset.reason
+
+    def test_constant_origin_is_ineligible(self):
+        weight = rt.ones((3,))
+
+        def f(x):
+            weight.fill_(0.0)
+            return x + weight
+        _, alias = build(f)
+        tset = alias.tsets()[0]
+        assert not tset.eligible
+        assert "constant" in tset.reason
+
+    def test_loop_alias_cross_contamination_detected(self):
+        _, alias = build(loop_carried_escape)
+        tsets = alias.tsets()
+        # y2's mutation is fine (fresh clone); nothing may silently
+        # functionalize storage that `acc` still观察es through the loop
+        for tset in tsets:
+            if tset.origin.name.startswith("y2") or tset.eligible:
+                continue
+            assert tset.reason
+
+    def test_accumulator_param_is_eligible(self):
+        def f(x, n: int):
+            acc = rt.zeros((4,))
+            for i in range(n):
+                acc += x
+            return acc
+        _, alias = build(f)
+        tsets = alias.tsets()
+        assert len(tsets) == 1
+        assert tsets[0].eligible, tsets[0].reason
+        assert tsets[0].origin.is_param  # the loop-carried slot
+
+    def test_accumulator_with_shared_init_is_ineligible(self):
+        def f(x, n: int):
+            acc = rt.zeros((4,))
+            keep = acc.select(0, 0)  # second handle on the init storage
+            for i in range(n):
+                acc += x
+            return acc, keep
+        _, alias = build(f)
+        tset = alias.tsets()[0]
+        assert not tset.eligible

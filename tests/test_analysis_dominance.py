@@ -1,0 +1,103 @@
+"""Dominance on block-structured IR."""
+
+from repro.analysis import node_dominates, value_dominates
+from repro.ir import Graph
+from repro.ir import types as T
+
+
+def build_nested():
+    """graph { a; loop { b; if { c }{ d }; e }; f }"""
+    g = Graph("dom")
+    x = g.add_input("x", T.TensorType())
+    n = g.add_input("n", T.IntType())
+    a = g.create("aten::neg", [x], ["a"], [T.TensorType()])
+    g.block.append(a)
+    true = g.constant(True)
+    g.block.append(true)
+    loop = g.create("prim::Loop", [n, true.output()])
+    g.block.append(loop)
+    body = loop.add_block()
+    body.add_param("i", T.IntType())
+    b = g.create("aten::neg", [a.output()], ["b"], [T.TensorType()])
+    body.append(b)
+    cond = g.create("aten::Bool", [b.output()], ["c"], [T.BoolType()])
+    body.append(cond)
+    branch = g.create("prim::If", [cond.output()])
+    body.append(branch)
+    then_b, else_b = branch.add_block(), branch.add_block()
+    c = g.create("aten::neg", [b.output()], ["c"], [T.TensorType()])
+    then_b.append(c)
+    d = g.create("aten::neg", [b.output()], ["d"], [T.TensorType()])
+    else_b.append(d)
+    then_b.add_return(c.output())
+    else_b.add_return(d.output())
+    branch.add_output("o", T.TensorType())
+    e = g.create("aten::neg", [branch.output()], ["e"], [T.TensorType()])
+    body.append(e)
+    body.add_return(true.output())
+    f = g.create("aten::neg", [a.output()], ["f"], [T.TensorType()])
+    g.block.append(f)
+    g.add_output(f.output())
+    return g, dict(a=a, loop=loop, b=b, branch=branch, c=c, d=d, e=e, f=f,
+                   x=x)
+
+
+class TestNodeDominance:
+    def test_same_block_order(self):
+        g, n = build_nested()
+        assert node_dominates(n["a"], n["loop"])
+        assert not node_dominates(n["loop"], n["a"])
+
+    def test_outer_dominates_inner(self):
+        g, n = build_nested()
+        assert node_dominates(n["a"], n["b"])
+        assert node_dominates(n["a"], n["c"])
+
+    def test_inner_does_not_dominate_outer(self):
+        g, n = build_nested()
+        assert not node_dominates(n["b"], n["f"])
+        assert not node_dominates(n["c"], n["f"])
+
+    def test_siblings_do_not_dominate(self):
+        g, n = build_nested()
+        assert not node_dominates(n["c"], n["d"])
+        assert not node_dominates(n["d"], n["c"])
+
+    def test_within_loop_body(self):
+        g, n = build_nested()
+        assert node_dominates(n["b"], n["e"])
+        assert node_dominates(n["b"], n["c"])
+        assert not node_dominates(n["e"], n["b"])
+
+    def test_branch_does_not_dominate_after(self):
+        g, n = build_nested()
+        # c is inside one branch; e comes after the If
+        assert not node_dominates(n["c"], n["e"])
+
+    def test_containment_counts(self):
+        g, n = build_nested()
+        assert node_dominates(n["loop"], n["b"])
+        assert node_dominates(n["branch"], n["c"])
+
+    def test_self(self):
+        g, n = build_nested()
+        assert node_dominates(n["a"], n["a"])
+
+
+class TestValueDominance:
+    def test_graph_input_dominates_everything(self):
+        g, n = build_nested()
+        for key in ("a", "b", "c", "e", "f"):
+            assert value_dominates(n["x"], n[key])
+
+    def test_node_output_dominates_later_uses(self):
+        g, n = build_nested()
+        assert value_dominates(n["a"].output(), n["b"])
+        assert not value_dominates(n["e"].output(), n["b"])
+
+    def test_loop_param_scope(self):
+        g, n = build_nested()
+        i_param = n["loop"].blocks[0].params[0]
+        assert value_dominates(i_param, n["b"])
+        assert value_dominates(i_param, n["c"])
+        assert not value_dominates(i_param, n["f"])

@@ -1,0 +1,174 @@
+"""Kernel codegen and the fusion runtime."""
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from repro.backend import CodegenError, compile_block, run_graph
+from repro.backend.fusion_runtime import execute_group
+from repro.frontend import script
+from repro.ir import Graph, clone_graph
+from repro.ir import types as T
+from repro.passes import FuserConfig, dce, fuse, parallelize_loops
+from repro.tensorssa import convert_to_tensorssa
+
+
+def _make_group(fn, config=None):
+    g = clone_graph(script(fn).graph)
+    fuse(g, config or FuserConfig(name="t", fuse_views=True))
+    groups = g.nodes_of("prim::FusionGroup")
+    assert groups, "no fusion group formed"
+    return g, groups[0]
+
+
+class TestCompileBlock:
+    def test_elementwise_kernel(self):
+        def f(x, y):
+            return (x + y) * 2.0
+        _, group = _make_group(f)
+        kernel = compile_block(group.blocks[0])
+        out, = kernel([np.ones(3, np.float32), np.ones(3, np.float32)])
+        assert out.tolist() == [4.0, 4.0, 4.0]
+
+    def test_generated_source_is_attached(self):
+        def f(x):
+            return x.sigmoid() + 1.0
+        _, group = _make_group(f)
+        kernel = compile_block(group.blocks[0])
+        assert "def _kernel" in kernel.__source__
+        assert "aten::sigmoid" in kernel.__source__
+
+    def test_scalar_and_constant_inlining(self):
+        def f(x, k: int):
+            return x * float(k) + 0.5
+        _, group = _make_group(f)
+        kernel = compile_block(group.blocks[0])
+        args = [3] if len(group.blocks[0].params) == 1 else None
+        # params order mirrors group inputs; execute via the runtime
+        # path to avoid caring about arity here
+        assert kernel is not None
+
+    def test_immut_assign_kernel(self):
+        def f(x):
+            y = x.clone()
+            y[0] = y[1] * 3.0
+            return y
+        g = clone_graph(script(f).graph)
+        convert_to_tensorssa(g)
+        dce(g)
+        fuse(g, FuserConfig(name="t", fuse_views=True))
+        x = rt.tensor([1.0, 2.0])
+        got = run_graph(g, [x.clone()])[0]
+        expected = f(x.clone())
+        np.testing.assert_allclose(got.numpy(), expected.numpy())
+
+    def test_uncompilable_op_raises(self):
+        g = Graph()
+        node = g.create("aten::topk", [], [], [])
+        block = node.add_block()
+        inner = g.create("aten::matmul", [
+            block.add_param("a", T.TensorType()),
+            block.add_param("b", T.TensorType())], ["o"], [T.TensorType()])
+        block.append(inner)
+        block.add_return(inner.output())
+        with pytest.raises(CodegenError):
+            compile_block(block)
+
+    def test_float32_preserved_in_kernels(self):
+        def f(x):
+            return x * 2.5 + 0.25
+        g, group = _make_group(f)
+        out = run_graph(g, [rt.rand((4,), seed=1)])[0]
+        assert out.dtype is rt.float32
+
+
+class TestExecuteGroup:
+    def test_single_launch_and_fused_ops(self):
+        def f(x):
+            return (x + 1.0) * (x - 1.0)
+        g, group = _make_group(f)
+        x = rt.rand((8,), seed=2)
+        with rt.profile() as prof:
+            outs = execute_group(group, [x])
+        assert prof.num_launches == 1
+        assert prof.events[0].fused_ops == group.attrs["num_member_ops"]
+        assert isinstance(outs[0], rt.Tensor)
+
+    def test_kernel_cached_on_node(self):
+        def f(x):
+            return x + x
+        def g2(x):
+            return x + x + x
+        g, group = _make_group(g2)
+        execute_group(group, [rt.rand((4,), seed=3)])
+        first = group.attrs["kernel"]
+        execute_group(group, [rt.rand((4,), seed=4)])
+        assert group.attrs["kernel"] is first
+
+    def test_outputs_own_storage(self):
+        def f(x):
+            return x.select(0, 0) + 0.0
+        g, group = _make_group(f)
+        x = rt.ones((2, 3))
+        outs = execute_group(group, [x])
+        x.fill_(5.0)
+        assert outs[0].numpy().tolist() == [1.0, 1.0, 1.0]
+
+
+class TestHorizontalRuntime:
+    def _prep(self, fn):
+        g = clone_graph(script(fn).graph)
+        convert_to_tensorssa(g)
+        dce(g)
+        n = parallelize_loops(g)
+        return g, n
+
+    def test_masking_loop_single_launch(self):
+        def f(x, n: int):
+            y = x.clone()
+            for i in range(n):
+                y[i] = y[i] * 2.0
+            return y
+        g, n = self._prep(f)
+        assert n == 1
+        x = rt.rand((4, 2), seed=5)
+        with rt.profile() as prof:
+            got = run_graph(g, [x.clone(), 4])[0]
+        expected = f(x.clone(), 4)
+        np.testing.assert_allclose(got.numpy(), expected.numpy())
+        loop_events = [e for e in prof.events if e.op == "parallel_loop"]
+        assert len(loop_events) == 1
+
+    def test_sequential_dependency_still_correct(self):
+        # carried-state loops execute sequentially inside one launch —
+        # horizontal marking never changes values
+        def f(x, n: int):
+            acc = rt.zeros((3,))
+            for i in range(n):
+                acc = (acc + x) * 0.9
+            return acc
+        g, n = self._prep(f)
+        x = rt.rand((3,), seed=6)
+        got = run_graph(g, [x.clone(), 5])[0]
+        expected = f(x.clone(), 5)
+        np.testing.assert_allclose(got.numpy(), expected.numpy(),
+                                   rtol=1e-5)
+
+    def test_loop_with_matmul_not_horizontal(self):
+        def f(x, w, n: int):
+            y = x.clone()
+            for i in range(n):
+                y = y @ w
+            return y
+        g, n = self._prep(f)
+        assert n == 0
+
+    def test_zero_trip_horizontal(self):
+        def f(x, n: int):
+            y = x.clone()
+            for i in range(n):
+                y = y + 100.0
+            return y
+        g, n = self._prep(f)
+        got = run_graph(g, [rt.ones((2,)), 0])[0]
+        assert got.numpy().tolist() == [1.0, 1.0]

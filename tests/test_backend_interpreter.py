@@ -1,0 +1,150 @@
+"""Reference interpreter: control flow, containers, error paths."""
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from repro.backend import InterpreterError, run_graph
+from repro.ir import Graph, parse_graph
+from repro.ir import types as T
+
+
+class TestBasics:
+    def test_arity_mismatch(self):
+        g = parse_graph("graph g(%x.0 : Tensor):\n  return (%x.0)")
+        with pytest.raises(InterpreterError, match="expects 1 args"):
+            run_graph(g, [])
+
+    def test_constant_payload_passthrough(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor):
+  %c.0 = prim::Constant[value=2.5]()
+  %o.0 = aten::mul(%x.0, %c.0)
+  return (%o.0)
+""")
+        assert run_graph(g, [rt.tensor([2.0])])[0].item() == 5.0
+
+    def test_update_node_rejected(self):
+        g = Graph()
+        x = g.add_input("x", T.TensorType())
+        upd = g.create("tssa::update", [x, x])
+        g.block.append(upd)
+        g.add_output(x)
+        with pytest.raises(InterpreterError, match="tssa::update"):
+            run_graph(g, [rt.ones((2,))])
+
+    def test_multiple_outputs(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor):
+  %v.0, %i.0 = aten::topk(%x.0, %x.0)
+  return (%v.0, %i.0)
+""")
+        # topk(x, k) needs an int k; feed via a constant instead
+        g2 = parse_graph("""
+graph g(%x.0 : Tensor):
+  %k.0 = prim::Constant[value=2]()
+  %v.0, %i.0 = aten::topk(%x.0, %k.0)
+  return (%v.0, %i.0)
+""")
+        vals, idx = run_graph(g2, [rt.tensor([1.0, 5.0, 3.0])])
+        assert vals.tolist() == [5.0, 3.0]
+        assert idx.tolist() == [1, 2]
+
+
+class TestControlFlow:
+    LOOP = """
+graph g(%n.0 : Int, %x.0 : Tensor):
+  %t.0 = prim::Constant[value=True]()
+  %o.0 = prim::Loop(%n.0, %t.0, %x.0)
+    block0(%i.0 : Int, %acc.0 : Tensor):
+      %c.0 = prim::Constant[value=2.0]()
+      %nx.0 = aten::mul(%acc.0, %c.0)
+      -> (%t.0, %nx.0)
+  return (%o.0)
+"""
+
+    def test_loop_trip_count(self):
+        g = parse_graph(self.LOOP)
+        assert run_graph(g, [3, rt.tensor([1.0])])[0].item() == 8.0
+        assert run_graph(g, [0, rt.tensor([1.0])])[0].item() == 1.0
+
+    def test_loop_condition_stops_early(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor):
+  %big.0 = prim::Constant[value=1000]()
+  %t.0 = prim::Constant[value=True]()
+  %c.0 = prim::Constant[value=0]()
+  %o.0, %k.0 = prim::Loop(%big.0, %t.0, %x.0, %c.0)
+    block0(%i.0 : Int, %acc.0 : Tensor, %k.1 : Int):
+      %one.0 = prim::Constant[value=1.0]()
+      %nx.0 = aten::add(%acc.0, %one.0)
+      %ione.0 = prim::Constant[value=1]()
+      %k.2 = prim::add(%k.1, %ione.0)
+      %lim.0 = prim::Constant[value=5]()
+      %cond.0 = prim::lt(%k.2, %lim.0)
+      -> (%cond.0, %nx.0, %k.2)
+  return (%o.0, %k.0)
+""")
+        out, k = run_graph(g, [rt.tensor([0.0])])
+        assert k == 5
+        assert out.item() == 5.0
+
+    def test_python_events_recorded(self):
+        g = parse_graph(self.LOOP)
+        with rt.profile() as prof:
+            run_graph(g, [4, rt.tensor([1.0])])
+        kinds = [e.kind for e in prof.python_events]
+        assert kinds.count("loop_iter") == 4
+        assert "interp_op" in kinds
+
+    def test_branch_events(self):
+        g = parse_graph("""
+graph g(%f.0 : Bool, %x.0 : Tensor):
+  %o.0 = prim::If(%f.0)
+    block0():
+      -> (%x.0)
+    block1():
+      %c.0 = prim::Constant[value=-1.0]()
+      %n.0 = aten::mul(%x.0, %c.0)
+      -> (%n.0)
+  return (%o.0)
+""")
+        with rt.profile() as prof:
+            out = run_graph(g, [False, rt.tensor([2.0])])
+        assert out[0].item() == -2.0
+        assert any(e.kind == "branch" for e in prof.python_events)
+
+
+class TestContainers:
+    def test_list_construct_and_index(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor, %y.0 : Tensor):
+  %l.0 = prim::ListConstruct(%x.0, %y.0)
+  %i.0 = prim::Constant[value=1]()
+  %o.0 = prim::ListIndex(%l.0, %i.0)
+  return (%o.0)
+""")
+        out = run_graph(g, [rt.tensor([1.0]), rt.tensor([2.0])])[0]
+        assert out.item() == 2.0
+
+    def test_tuple_unpack(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor, %y.0 : Tensor):
+  %t.0 = prim::TupleConstruct(%x.0, %y.0)
+  %a.0, %b.0 = prim::TupleUnpack(%t.0)
+  %o.0 = aten::add(%a.0, %b.0)
+  return (%o.0)
+""")
+        out = run_graph(g, [rt.tensor([1.0]), rt.tensor([2.0])])[0]
+        assert out.item() == 3.0
+
+    def test_cat_over_constructed_list(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor):
+  %l.0 = prim::ListConstruct(%x.0, %x.0)
+  %d.0 = prim::Constant[value=0]()
+  %o.0 = aten::cat(%l.0, %d.0)
+  return (%o.0)
+""")
+        out = run_graph(g, [rt.tensor([1.0, 2.0])])[0]
+        assert out.tolist() == [1.0, 2.0, 1.0, 2.0]

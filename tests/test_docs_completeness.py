@@ -1,0 +1,54 @@
+"""Documentation hygiene: every public module and callable is documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    names = ["repro"]
+    for pkg in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(pkg.name)
+    return names
+
+
+MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), \
+        f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_public_functions_documented(name):
+    module = importlib.import_module(name)
+    undocumented = []
+    for attr_name in dir(module):
+        if attr_name.startswith("_"):
+            continue
+        obj = getattr(module, attr_name)
+        if inspect.isfunction(obj) and obj.__module__ == name:
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(attr_name)
+    assert not undocumented, f"{name}: undocumented {undocumented}"
+
+
+def test_public_classes_documented():
+    undocumented = []
+    for name in MODULES:
+        module = importlib.import_module(name)
+        for attr_name in dir(module):
+            if attr_name.startswith("_"):
+                continue
+            obj = getattr(module, attr_name)
+            if inspect.isclass(obj) and obj.__module__ == name:
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, undocumented

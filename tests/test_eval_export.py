@@ -1,0 +1,39 @@
+"""Figure-data export artifacts."""
+
+import json
+import os
+
+from repro.eval.export import summarize, write_artifacts
+
+
+class TestExport:
+    def test_write_artifacts(self, tmp_path):
+        data = {"fig6": {"lstm": {"eager": 100, "tensorssa": 10}},
+                "summary": {"max_speedup_vs_best_baseline": 2.0}}
+        written = write_artifacts(str(tmp_path), data)
+        assert len(written) == 2
+        loaded = json.load(open(os.path.join(tmp_path, "fig6.json")))
+        assert loaded["lstm"]["tensorssa"] == 10
+
+    def test_summarize(self):
+        data = {
+            "fig5": {
+                "datacenter": {
+                    "lstm": {"ts_nnc": 2.0, "dynamo_inductor": 3.0,
+                             "ts_nvfuser": 2.0, "tensorssa": 6.0},
+                    "ssd": {"ts_nnc": 2.0, "dynamo_inductor": 1.0,
+                            "ts_nvfuser": 1.5, "tensorssa": 3.0},
+                },
+            },
+            "intro_fraction": {"lstm": 0.95},
+        }
+        s = summarize(data)
+        assert s["max_speedup_vs_best_baseline"] == 2.0
+        assert s["workload_platform_cells"] == 2
+        assert s["max_imperative_fraction"] == 0.95
+
+    def test_nested_tuples_jsonable(self, tmp_path):
+        data = {"x": {"a": (1, 2), "b": [3, (4, 5)]}}
+        write_artifacts(str(tmp_path), data)
+        loaded = json.load(open(os.path.join(tmp_path, "x.json")))
+        assert loaded["a"] == [1, 2]

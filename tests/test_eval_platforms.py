@@ -1,0 +1,104 @@
+"""Analytical cost model: device/host pricing."""
+
+import pytest
+
+from repro.eval.platforms import (CONSUMER, DATACENTER, PLATFORMS,
+                                  get_platform)
+from repro.runtime.profiler import KernelEvent, Profile, PythonEvent
+
+
+def profile_with(events=(), python=()):
+    prof = Profile()
+    prof.events.extend(events)
+    prof.python_events.extend(python)
+    return prof
+
+
+class TestDeviceModel:
+    def test_launch_overhead_only(self):
+        prof = profile_with([KernelEvent("k", bytes=0, flops=0)] * 10)
+        assert DATACENTER.device_time_us(prof) == pytest.approx(
+            10 * DATACENTER.launch_overhead_us)
+
+    def test_memory_bound_kernel(self):
+        nbytes = 936_000  # exactly 1us at 936 GB/s
+        prof = profile_with([KernelEvent("k", bytes=nbytes, flops=1)])
+        expected = DATACENTER.launch_overhead_us + 1.0
+        assert DATACENTER.device_time_us(prof) == pytest.approx(expected)
+
+    def test_compute_bound_kernel(self):
+        flops = int(35_580 * 1e3 * 2)  # 2us of fp32 work
+        prof = profile_with([KernelEvent("k", bytes=8, flops=flops)])
+        expected = DATACENTER.launch_overhead_us + 2.0
+        assert DATACENTER.device_time_us(prof) == pytest.approx(expected)
+
+    def test_roofline_takes_max(self):
+        ev = KernelEvent("k", bytes=936_000, flops=int(35_580e3 * 5))
+        prof = profile_with([ev])
+        assert DATACENTER.device_time_us(prof) == pytest.approx(
+            DATACENTER.launch_overhead_us + 5.0)
+
+    def test_device_penalty_scales_work_not_launches(self):
+        ev = KernelEvent("k", bytes=936_000, flops=0)
+        prof = profile_with([ev])
+        base = DATACENTER.device_time_us(prof)
+        penalized = DATACENTER.device_time_us(prof, device_penalty=2.0)
+        assert penalized == pytest.approx(base + 1.0)
+
+    def test_consumer_is_slower(self):
+        ev = KernelEvent("k", bytes=10_000_000, flops=0)
+        prof = profile_with([ev] * 4)
+        assert CONSUMER.device_time_us(prof) > \
+            DATACENTER.device_time_us(prof)
+
+
+class TestHostModel:
+    def test_eager_counts_launches(self):
+        prof = profile_with([KernelEvent("k")] * 7)
+        per = DATACENTER.host_costs_us["eager"]["per_launch"]
+        assert DATACENTER.host_time_us(prof, "eager") == pytest.approx(
+            7 * per)
+
+    def test_eager_counts_scalar_syncs(self):
+        prof = profile_with([KernelEvent("k")],
+                            [PythonEvent("scalar_sync", 3)])
+        costs = DATACENTER.host_costs_us["eager"]
+        expected = costs["per_launch"] + 3 * costs["scalar_sync"]
+        assert DATACENTER.host_time_us(prof, "eager") == pytest.approx(
+            expected)
+
+    def test_interpreter_profile(self):
+        prof = profile_with([], [PythonEvent("interp_op", 10),
+                                 PythonEvent("loop_iter", 4)])
+        costs = DATACENTER.host_costs_us["interpreter"]
+        expected = 10 * costs["interp_op"] + 4 * costs["loop_iter"]
+        assert DATACENTER.host_time_us(prof, "interpreter") == \
+            pytest.approx(expected)
+
+    def test_python_profile_charges_graph_breaks(self):
+        prof = profile_with([], [PythonEvent("loop_iter", 100)])
+        interp = DATACENTER.host_time_us(prof, "interpreter")
+        dynamo = DATACENTER.host_time_us(prof, "python")
+        assert dynamo > interp * 3
+
+    def test_unknown_event_kinds_cost_nothing(self):
+        prof = profile_with([], [PythonEvent("mystery", 100)])
+        assert DATACENTER.host_time_us(prof, "interpreter") == 0.0
+
+
+class TestLatency:
+    def test_latency_is_max_of_host_and_device(self):
+        prof = profile_with([KernelEvent("k", bytes=936_000_00)],
+                            [PythonEvent("interp_op", 1)])
+        lat = DATACENTER.latency_us(prof, "interpreter")
+        assert lat == pytest.approx(DATACENTER.device_time_us(prof))
+
+    def test_registry(self):
+        assert set(PLATFORMS) == {"consumer", "datacenter"}
+        assert get_platform("consumer") is CONSUMER
+        with pytest.raises(KeyError):
+            get_platform("tpu")
+
+    def test_paper_machine_labels(self):
+        assert "1660" in CONSUMER.label
+        assert "3090" in DATACENTER.label

@@ -1,0 +1,227 @@
+"""Scripting frontend: straight-line programs (scripted == eager)."""
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from conftest import assert_outputs_equal
+from repro.frontend import ScriptError, script
+
+
+def check(fn, *args, n_extra_runs=0):
+    """Run eager and scripted on cloned inputs and compare everything,
+    including in-place effects on the inputs."""
+    def cloned():
+        return [a.clone() if isinstance(a, rt.Tensor) else a for a in args]
+
+    eager_args = cloned()
+    expected = fn(*eager_args)
+    scripted = script(fn)
+    got_args = cloned()
+    got = scripted(*got_args)
+    assert_outputs_equal(got, expected, msg=f"outputs of {fn.__name__}")
+    for i, (ea, ga) in enumerate(zip(eager_args, got_args)):
+        if isinstance(ea, rt.Tensor):
+            assert_outputs_equal(ga, ea, msg=f"input {i} mutation effect")
+    return scripted
+
+
+def arith(x, y):
+    return x * 2.0 + y / 2.0 - 1.0
+
+
+def unary_chain(x):
+    return (-x).exp().sigmoid().tanh()
+
+
+def scalar_math(a: int, b: int):
+    c = a * b + 7
+    d = c // 2 - a
+    return d
+
+
+def views_and_reduce(x):
+    top = x[0:2]
+    right = x[:, 1]
+    return top.sum() + right.mean()
+
+
+def mutate_slice(x):
+    y = x.clone()
+    y[0] = y[1] * 2.0
+    y[:, 0] += 5.0
+    return y
+
+
+def mutate_input(x):
+    x[0] = 0.0
+    return x.sum()
+
+
+def tensor_methods(x):
+    a = x.clamp(-0.5, 0.5)
+    b = x.relu()
+    c = rt.where(x > 0, a, b)
+    return c.softmax(1)
+
+
+def free_functions(x, y):
+    both = rt.cat([x, y], 0)
+    stacked = rt.stack([x, y], 0)
+    return both.sum(), stacked.mean()
+
+
+def tuple_ops(x):
+    values, idx = x.topk(2, dim=1)
+    return values, idx.to(rt.float32)
+
+
+def shapes(x):
+    n = x.shape[0]
+    m = len(x)
+    return rt.zeros((n, m)) + float(n + m)
+
+
+def kwargs_call(x):
+    return x.sum(dim=1, keepdim=True)
+
+
+def helper_double(v):
+    return v * 2.0
+
+
+def inlined(x):
+    return helper_double(x) + helper_double(x[0])
+
+
+def constants_and_creation(x):
+    k = rt.arange(4).to(rt.float32)
+    return x + k.unsqueeze(0)
+
+
+def matmul_linear(x, w):
+    return x @ w + rt.matmul(x, w)
+
+
+def augassign_scalar(n: int):
+    total = 0
+    total += n
+    total *= 2
+    return total
+
+
+def list_build(x):
+    parts = [x[0], x[1]]
+    parts.append(x[2])
+    return rt.stack(parts, 0)
+
+
+def ternary(flag: bool, x):
+    y = x * 2.0 if flag else x * 3.0
+    return y
+
+
+class TestStraightLine:
+    def test_arith(self):
+        check(arith, rt.rand((3, 3), seed=1), rt.rand((3, 3), seed=2))
+
+    def test_unary_chain(self):
+        check(unary_chain, rt.rand((4,), seed=3))
+
+    def test_scalar_math(self):
+        check(scalar_math, 5, 7)
+
+    def test_views_and_reduce(self):
+        check(views_and_reduce, rt.rand((3, 3), seed=4))
+
+    def test_mutate_slice(self):
+        check(mutate_slice, rt.rand((3, 3), seed=5))
+
+    def test_mutation_of_input_is_preserved(self):
+        check(mutate_input, rt.rand((3, 3), seed=6))
+
+    def test_tensor_methods(self):
+        check(tensor_methods, rt.randn((3, 4), seed=7))
+
+    def test_free_functions(self):
+        check(free_functions, rt.rand((2, 2), seed=8),
+              rt.rand((2, 2), seed=9))
+
+    def test_multi_output_ops(self):
+        check(tuple_ops, rt.rand((3, 5), seed=10))
+
+    def test_shape_queries(self):
+        check(shapes, rt.rand((3, 2), seed=11))
+
+    def test_kwargs(self):
+        check(kwargs_call, rt.rand((2, 3), seed=12))
+
+    def test_helper_inlining(self):
+        check(inlined, rt.rand((2, 2), seed=13))
+
+    def test_constants_and_creation(self):
+        check(constants_and_creation, rt.rand((2, 4), seed=14))
+
+    def test_matmul(self):
+        check(matmul_linear, rt.rand((2, 3), seed=15),
+              rt.rand((3, 2), seed=16))
+
+    def test_scalar_augassign(self):
+        check(augassign_scalar, 21)
+
+    def test_list_build(self):
+        check(list_build, rt.rand((3, 2), seed=17))
+
+    def test_ternary(self):
+        check(ternary, True, rt.rand((2,), seed=18))
+        check(ternary, False, rt.rand((2,), seed=18))
+
+
+class TestGraphShape:
+    def test_mutation_survives_into_ir(self):
+        s = script(mutate_slice)
+        ops = [n.op for n in s.graph.walk()]
+        assert "aten::copy_" in ops
+        assert "aten::add_" in ops
+        assert "aten::select" in ops or "aten::slice" in ops
+
+    def test_pure_program_has_no_mutation(self):
+        s = script(arith)
+        assert not any(n.schema.is_mutating for n in s.graph.walk()
+                       if n.op != "prim::Constant")
+
+
+class TestErrors:
+    def test_early_return_rejected(self):
+        def f(x):
+            if True:
+                return x
+            return x
+        with pytest.raises(ScriptError):
+            script(f)
+
+    def test_unknown_name(self):
+        def f(x):
+            return x + undefined_variable  # noqa: F821
+        with pytest.raises(ScriptError):
+            script(f)
+
+    def test_nested_def_rejected(self):
+        def f(x):
+            def g(y):
+                return y
+            return g(x)
+        with pytest.raises(ScriptError):
+            script(f)
+
+    def test_chained_compare_rejected(self):
+        def f(a: int):
+            return 0 < a < 5
+        with pytest.raises(ScriptError):
+            script(f)
+
+    def test_star_args_rejected(self):
+        def f(*xs):
+            return xs[0]
+        with pytest.raises(ScriptError):
+            script(f)

@@ -1,0 +1,229 @@
+"""Scripting frontend: control flow (loops, branches, nesting)."""
+
+import pytest
+
+import repro.runtime as rt
+from repro.frontend import ScriptError, script
+from test_frontend_basic import check
+
+
+def simple_if(x, flag: bool):
+    if flag:
+        y = x + 1.0
+    else:
+        y = x - 1.0
+    return y
+
+
+def if_no_else(x, flag: bool):
+    y = x * 1.0
+    if flag:
+        y = y + 10.0
+    return y
+
+
+def if_scalar_cond(x, n: int):
+    if n >= 0:
+        out = x * 2.0
+    else:
+        out = x * -1.0
+    return out
+
+
+def if_mutation_both_branches(a, b, idx: int):
+    # Paper Figure 2's running example.
+    if idx >= 0:
+        a += 1.0
+        b[0] = a[0]
+    else:
+        a -= 1.0
+        b[1] = a[1]
+    return a, b
+
+
+def nested_if(x, n: int):
+    if n > 0:
+        if n > 10:
+            y = x + 100.0
+        else:
+            y = x + 10.0
+    else:
+        y = x * 0.0
+    return y
+
+
+def for_accumulate(x, n: int):
+    acc = x * 0.0
+    for i in range(n):
+        acc = acc + x * float(i)
+    return acc
+
+
+def for_mutate_rows(x, n: int):
+    y = x.clone()
+    for i in range(n):
+        y[i] = y[i] + 1.0
+    return y
+
+
+def for_with_start(n: int):
+    total = 0
+    for i in range(2, n):
+        total += i
+    return total
+
+
+def for_scalar_carried(n: int):
+    a = 0
+    b = 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def while_loop(n: int):
+    i = 0
+    total = 0
+    while i < n:
+        total += i * i
+        i += 1
+    return total
+
+
+def while_tensor_cond(x):
+    y = x.clone()
+    count = 0
+    while float(y.sum()) < 100.0 and count < 64:
+        y += 1.0
+        count += 1
+    return y, count
+
+
+def loop_in_if(x, flag: bool, n: int):
+    y = x.clone()
+    if flag:
+        for i in range(n):
+            y += 1.0
+    else:
+        y -= 1.0
+    return y
+
+
+def if_in_loop(x, n: int):
+    y = x.clone()
+    for i in range(n):
+        if i - (i // 2) * 2 == 0:
+            y[0] += 1.0
+        else:
+            y[1] += 2.0
+    return y
+
+
+def running_lstm_style(x, h0, n: int):
+    h = h0.clone()
+    out = rt.zeros((n, h0.shape[0]))
+    for t in range(n):
+        h = (h * 0.5 + x[t]).tanh()
+        out[t] = h
+    return out, h
+
+
+def zero_trip_loop(x, n: int):
+    y = x.clone()
+    for i in range(n):
+        y += 100.0
+    return y
+
+
+class TestIf:
+    def test_simple_if(self):
+        check(simple_if, rt.rand((3,), seed=1), True)
+        check(simple_if, rt.rand((3,), seed=1), False)
+
+    def test_if_no_else(self):
+        check(if_no_else, rt.rand((3,), seed=2), True)
+        check(if_no_else, rt.rand((3,), seed=2), False)
+
+    def test_if_scalar_cond(self):
+        check(if_scalar_cond, rt.rand((3,), seed=3), 5)
+        check(if_scalar_cond, rt.rand((3,), seed=3), -5)
+
+    def test_paper_figure2(self):
+        for idx in (3, -3):
+            check(if_mutation_both_branches, rt.rand((4,), seed=4),
+                  rt.rand((4,), seed=5), idx)
+
+    def test_nested_if(self):
+        for n in (20, 5, -1):
+            check(nested_if, rt.rand((2,), seed=6), n)
+
+    def test_branch_local_name_not_visible_after(self):
+        def f(x, flag: bool):
+            if flag:
+                tmp = x + 1.0
+            y = tmp  # noqa: F821 - only defined on one path
+            return y
+        with pytest.raises(ScriptError):
+            script(f)
+
+
+class TestLoops:
+    def test_for_accumulate(self):
+        check(for_accumulate, rt.rand((3,), seed=7), 5)
+
+    def test_for_mutate_rows(self):
+        check(for_mutate_rows, rt.rand((4, 2), seed=8), 4)
+
+    def test_for_with_start(self):
+        check(for_with_start, 7)
+
+    def test_scalar_swap_carried(self):
+        assert check(for_scalar_carried, 10)(10) == 55
+
+    def test_while(self):
+        check(while_loop, 6)
+
+    def test_while_with_tensor_condition(self):
+        check(while_tensor_cond, rt.ones((4,)))
+
+    def test_zero_trip(self):
+        check(zero_trip_loop, rt.rand((2,), seed=9), 0)
+
+    def test_range_step_rejected(self):
+        def f(n: int):
+            total = 0
+            for i in range(0, n, 2):
+                total += i
+            return total
+        with pytest.raises(ScriptError):
+            script(f)
+
+
+class TestNesting:
+    def test_loop_in_if(self):
+        check(loop_in_if, rt.rand((2,), seed=10), True, 3)
+        check(loop_in_if, rt.rand((2,), seed=10), False, 3)
+
+    def test_if_in_loop(self):
+        check(if_in_loop, rt.rand((3,), seed=11), 6)
+
+    def test_lstm_style_buffer_fill(self):
+        check(running_lstm_style, rt.rand((5, 3), seed=12),
+              rt.rand((3,), seed=13), 5)
+
+
+class TestLoopIR:
+    def test_loop_carries_reassigned_var(self):
+        s = script(for_accumulate)
+        loop = s.graph.nodes_of("prim::Loop")[0]
+        # acc is carried: (trip, cond, acc)
+        assert len(loop.inputs) == 3
+        assert len(loop.outputs) == 1
+
+    def test_mutated_but_not_rebound_is_not_carried(self):
+        s = script(for_mutate_rows)
+        loop = s.graph.nodes_of("prim::Loop")[0]
+        # y is only mutated through views, never rebound -> TorchScript
+        # semantics: not a loop-carried value (the paper's problem!).
+        assert len(loop.inputs) == 2
+        assert len(loop.outputs) == 0

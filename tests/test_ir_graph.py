@@ -1,0 +1,172 @@
+"""Graph-level IR data structure invariants."""
+
+import pytest
+
+from repro.ir import (Graph, VerificationError, clone_graph, print_graph,
+                      verify)
+from repro.ir import types as T
+
+
+def make_simple_graph():
+    g = Graph("simple")
+    a = g.add_input("a", T.TensorType())
+    b = g.add_input("b", T.TensorType())
+    add = g.create("aten::add", [a, b], ["s"], [T.TensorType()])
+    g.block.append(add)
+    mul = g.create("aten::mul", [add.output(), a], ["m"], [T.TensorType()])
+    g.block.append(mul)
+    g.add_output(mul.output())
+    return g, a, b, add, mul
+
+
+class TestConstruction:
+    def test_uses_are_tracked(self):
+        g, a, b, add, mul = make_simple_graph()
+        assert len(a.uses) == 2  # add input 0, mul input 1
+        assert len(add.output().uses) == 1
+        assert mul.output().uses[0].user is g.block
+
+    def test_verify_ok(self):
+        g, *_ = make_simple_graph()
+        verify(g)
+
+    def test_print_contains_ops(self):
+        g, *_ = make_simple_graph()
+        text = print_graph(g)
+        assert "aten::add" in text and "aten::mul" in text
+        assert text.startswith("graph simple(")
+
+    def test_constant_node(self):
+        g = Graph()
+        c = g.constant(3.5)
+        g.block.append(c)
+        assert c.attrs["value"] == 3.5
+        assert isinstance(c.output().type, T.FloatType)
+
+    def test_unknown_op_rejected(self):
+        g = Graph()
+        with pytest.raises(KeyError):
+            g.create("aten::definitely_not_an_op", [])
+
+
+class TestMutationAPI:
+    def test_replace_all_uses(self):
+        g, a, b, add, mul = make_simple_graph()
+        add.output().replace_all_uses_with(b)
+        assert mul.input(0) is b
+        assert not add.output().uses
+        verify(g)
+
+    def test_replace_updates_block_returns(self):
+        g, a, b, add, mul = make_simple_graph()
+        mul.output().replace_all_uses_with(add.output())
+        assert g.outputs[0] is add.output()
+        verify(g)
+
+    def test_set_input(self):
+        g, a, b, add, mul = make_simple_graph()
+        mul.set_input(1, b)
+        assert not any(u.user is mul for u in a.uses if u.index == 1)
+        assert any(u.user is mul and u.index == 1 for u in b.uses)
+        verify(g)
+
+    def test_remove_input_reindexes_uses(self):
+        g, a, b, add, mul = make_simple_graph()
+        add.remove_input(0)
+        assert add.inputs == (b,)
+        assert b.uses[0].index == 0
+        # verify() would fail arity checks only for control ops; the use
+        # records themselves must still be consistent:
+        verify(g)
+
+    def test_destroy_requires_no_uses(self):
+        g, a, b, add, mul = make_simple_graph()
+        with pytest.raises(RuntimeError):
+            add.destroy()
+        mul.set_input(0, b)
+        add.destroy()
+        assert add not in g.block.nodes
+        verify(g)
+
+    def test_insert_before_after_and_is_before(self):
+        g, a, b, add, mul = make_simple_graph()
+        neg = g.create("aten::neg", [a], ["n"], [T.TensorType()])
+        g.block.insert_before(mul, neg)
+        assert add.is_before(neg) and neg.is_before(mul)
+        neg2 = g.create("aten::neg", [a], ["n"], [T.TensorType()])
+        g.block.insert_after(add, neg2)
+        assert neg2.is_before(neg)
+        verify(g)
+
+
+class TestControlFlowStructure:
+    def make_loop_graph(self):
+        g = Graph("loopy")
+        n = g.add_input("n", T.IntType())
+        x = g.add_input("x", T.TensorType())
+        true = g.constant(True)
+        g.block.append(true)
+        loop = g.create("prim::Loop", [n, true.output(), x])
+        g.block.append(loop)
+        body = loop.add_block()
+        body.add_param("i", T.IntType())
+        xc = body.add_param("x", T.TensorType())
+        one = g.constant(1)
+        body.append(one)
+        add = g.create("aten::add", [xc, one.output()], ["x"],
+                       [T.TensorType()])
+        body.append(add)
+        body.add_return(true.output())
+        body.add_return(add.output())
+        out = loop.add_output("x", T.TensorType())
+        g.add_output(out)
+        return g, loop
+
+    def test_loop_verifies(self):
+        g, loop = self.make_loop_graph()
+        verify(g)
+
+    def test_loop_arity_checked(self):
+        g, loop = self.make_loop_graph()
+        loop.blocks[0].params.pop()  # corrupt
+        with pytest.raises(VerificationError):
+            verify(g)
+
+    def test_scope_violation_detected(self):
+        g, loop = self.make_loop_graph()
+        inner_add = loop.blocks[0].nodes[-1]
+        # A top-level node using a loop-local value is out of scope.
+        bad = g.create("aten::neg", [inner_add.output()], ["bad"],
+                       [T.TensorType()])
+        g.block.append(bad)
+        with pytest.raises(VerificationError):
+            verify(g)
+
+    def test_walk_covers_nested(self):
+        g, loop = self.make_loop_graph()
+        ops = [n.op for n in g.walk()]
+        assert "aten::add" in ops and "prim::Loop" in ops
+
+    def test_nodes_of(self):
+        g, loop = self.make_loop_graph()
+        assert g.nodes_of("prim::Loop") == [loop]
+
+
+class TestClone:
+    def test_clone_is_deep_and_verifies(self):
+        g, a, b, add, mul = make_simple_graph()
+        g2 = clone_graph(g)
+        verify(g2)
+        assert len(list(g2.walk())) == len(list(g.walk()))
+        # mutating the clone leaves the original intact
+        g2.block.nodes[0].op = "aten::sub"
+        assert g.block.nodes[0].op == "aten::add"
+
+    def test_clone_control_flow(self):
+        g, loop = TestControlFlowStructure().make_loop_graph()
+        g2 = clone_graph(g)
+        verify(g2)
+        loops = g2.nodes_of("prim::Loop")
+        assert len(loops) == 1
+        assert loops[0] is not loop
+        assert len(loops[0].blocks[0].nodes) == 2

@@ -1,0 +1,133 @@
+"""Textual IR parser: literals and printer round-trips."""
+
+import pytest
+
+import repro.runtime as rt
+from repro.backend import run_graph
+from repro.frontend import script
+from repro.ir import IRParseError, parse_graph, print_graph, verify
+
+
+SIMPLE = """
+graph demo(%x.0 : Tensor, %n.0 : Int):
+  %c.0 = prim::Constant[value=1.0]()
+  %a.0 = aten::add(%x.0, %c.0)
+  %b.0 = aten::mul(%a.0, %a.0)
+  return (%b.0)
+"""
+
+LOOPY = """
+graph loopy(%x.0 : Tensor, %n.0 : Int):
+  %t.0 = prim::Constant[value=True]()
+  %y.0 = aten::clone(%x.0)
+  %y.2 = prim::Loop(%n.0, %t.0, %y.0)
+    block0(%i.0 : Int, %y.1 : Tensor):
+      %c.1 = prim::Constant[value=1.0]()
+      %z.0 = aten::add(%y.1, %c.1)
+      -> (%t.0, %z.0)
+  return (%y.2)
+"""
+
+BRANCHY = """
+graph branchy(%x.0 : Tensor, %f.0 : Bool):
+  %o.0 = prim::If(%f.0)
+    block0():
+      %c.0 = prim::Constant[value=2.0]()
+      %a.0 = aten::mul(%x.0, %c.0)
+      -> (%a.0)
+    block1():
+      %c.1 = prim::Constant[value=3.0]()
+      %b.0 = aten::mul(%x.0, %c.1)
+      -> (%b.0)
+  return (%o.0)
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        g = parse_graph(SIMPLE)
+        verify(g)
+        assert [n.op for n in g.block.nodes] == [
+            "prim::Constant", "aten::add", "aten::mul"]
+        out = run_graph(g, [rt.tensor([2.0]), 0])[0]
+        assert out.item() == 9.0
+
+    def test_loop(self):
+        g = parse_graph(LOOPY)
+        verify(g)
+        out = run_graph(g, [rt.tensor([0.0]), 5])[0]
+        assert out.item() == 5.0
+
+    def test_branch(self):
+        g = parse_graph(BRANCHY)
+        verify(g)
+        assert run_graph(g, [rt.tensor([1.0]), True])[0].item() == 2.0
+        assert run_graph(g, [rt.tensor([1.0]), False])[0].item() == 3.0
+
+    def test_constants_payloads(self):
+        g = parse_graph("""
+graph c(%x.0 : Tensor):
+  %a.0 = prim::Constant[value=None]()
+  %b.0 = prim::Constant[value=[1, 2, 3]]()
+  %c.0 = prim::Constant[value='hi']()
+  %d.0 = prim::Constant[value=-1.5]()
+  return (%x.0)
+""")
+        payloads = [n.attrs["value"] for n in
+                    g.nodes_of("prim::Constant")]
+        assert payloads == [None, [1, 2, 3], "hi", -1.5]
+
+    def test_errors(self):
+        with pytest.raises(IRParseError):
+            parse_graph("nonsense")
+        with pytest.raises(IRParseError):
+            parse_graph("graph g(%x.0 : Tensor):\n  %a.0 = "
+                        "aten::add(%nope.0, %x.0)\n  return (%a.0)")
+        with pytest.raises(IRParseError):
+            parse_graph("graph g(%x.0 : Wat):\n  return (%x.0)")
+
+
+class TestRoundTrip:
+    def _roundtrip(self, graph):
+        text = print_graph(graph)
+        reparsed = parse_graph(text)
+        verify(reparsed)
+        assert print_graph(reparsed) == text
+
+    def test_literals_round_trip(self):
+        for text in (SIMPLE, LOOPY, BRANCHY):
+            g = parse_graph(text)
+            self._roundtrip(g)
+
+    def test_scripted_models_round_trip(self):
+        from repro.models import WORKLOADS
+        for name in ("ssd", "lstm", "attention"):
+            graph = script(WORKLOADS[name].model_fn).graph
+            self._roundtrip(graph)
+
+    def test_converted_graph_round_trips(self):
+        from repro.ir import clone_graph
+        from repro.passes import dce
+        from repro.tensorssa import convert_to_tensorssa
+
+        def f(b, n: int):
+            b = b.clone()
+            for i in range(n):
+                b[i] = b[i] + 1.0
+            return b
+        g = clone_graph(script(f).graph)
+        convert_to_tensorssa(g)
+        dce(g)
+        self._roundtrip(g)
+
+    def test_parsed_graph_executes_like_original(self):
+        import numpy as np
+        from repro.models import WORKLOADS
+        wl = WORKLOADS["lstm"]
+        graph = script(wl.model_fn).graph
+        reparsed = parse_graph(print_graph(graph))
+        args = wl.make_inputs(batch_size=1, seq_len=4)
+        a = run_graph(graph, list(args))
+        b = run_graph(reparsed, list(args))
+        for x, y in zip(a, b):
+            np.testing.assert_allclose(x.numpy(), y.numpy())

@@ -1,0 +1,150 @@
+"""The eight paper workloads: shapes, determinism, and compiled
+equivalence at test-friendly sizes."""
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from repro.models import WORKLOADS, get_workload, workload_names
+from repro.models.registry import cv_nlp_split
+from repro.pipelines import TensorSSAPipeline, get_pipeline
+
+SMALL = dict(batch_size=2, seq_len=8)
+
+
+def clone_args(args):
+    return tuple(a.clone() if isinstance(a, rt.Tensor) else a for a in args)
+
+
+class TestRegistry:
+    def test_eight_workloads(self):
+        assert len(WORKLOADS) == 8
+        assert set(workload_names()) == {
+            "yolov3", "ssd", "yolact", "fcos",
+            "nasrnn", "lstm", "seq2seq", "attention"}
+
+    def test_domains(self):
+        cv, other = cv_nlp_split()
+        assert set(cv) == {"yolov3", "ssd", "yolact", "fcos"}
+        assert set(other) == {"nasrnn", "lstm", "seq2seq", "attention"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("resnet")
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestEachWorkload:
+    def test_eager_runs_and_is_deterministic(self, name):
+        wl = get_workload(name)
+        a1 = wl.make_inputs(seed=3, **SMALL)
+        a2 = wl.make_inputs(seed=3, **SMALL)
+        r1 = wl.model_fn(*clone_args(a1))
+        r2 = wl.model_fn(*clone_args(a2))
+        r1 = r1 if isinstance(r1, tuple) else (r1,)
+        r2 = r2 if isinstance(r2, tuple) else (r2,)
+        for x, y in zip(r1, r2):
+            np.testing.assert_array_equal(x.numpy(), y.numpy())
+
+    def test_seed_changes_output(self, name):
+        wl = get_workload(name)
+        r1 = wl.model_fn(*clone_args(wl.make_inputs(seed=1, **SMALL)))
+        r2 = wl.model_fn(*clone_args(wl.make_inputs(seed=2, **SMALL)))
+        r1 = r1 if isinstance(r1, tuple) else (r1,)
+        r2 = r2 if isinstance(r2, tuple) else (r2,)
+        assert any(not np.array_equal(x.numpy(), y.numpy())
+                   for x, y in zip(r1, r2))
+
+    def test_batch_dimension_respected(self, name):
+        wl = get_workload(name)
+        args = wl.make_inputs(batch_size=3, seq_len=8)
+        out = wl.model_fn(*clone_args(args))
+        out = out if isinstance(out, tuple) else (out,)
+        assert any(3 in o.shape for o in out if isinstance(o, rt.Tensor))
+
+    def test_tensorssa_equivalence(self, name):
+        wl = get_workload(name)
+        args = wl.make_inputs(seed=5, **SMALL)
+        expected = wl.model_fn(*clone_args(args))
+        compiled = TensorSSAPipeline().compile(wl.model_fn)
+        got = compiled(*clone_args(args))
+        expected = expected if isinstance(expected, tuple) else (expected,)
+        got = got if isinstance(got, tuple) else (got,)
+        for i, (g, e) in enumerate(zip(got, expected)):
+            np.testing.assert_allclose(
+                g.numpy().astype(float), e.numpy().astype(float),
+                rtol=1e-4, atol=1e-5, err_msg=f"{name} output {i}")
+
+    def test_workload_is_mutation_heavy(self, name):
+        """Every paper workload must actually exercise the problem: the
+        eager run performs in-place writes through views or whole
+        tensors."""
+        wl = get_workload(name)
+        args = wl.make_inputs(seed=0, **SMALL)
+        with rt.profile() as prof:
+            wl.model_fn(*clone_args(args))
+        mutating = {"copy_", "fill_", "add_", "sub_", "mul_", "div_",
+                    "sigmoid_", "tanh_", "relu_", "clamp_", "zero_",
+                    "masked_fill_", "exp_"}
+        assert any(e.op in mutating for e in prof.events), \
+            f"{name} performs no mutation — not an imperative workload"
+
+
+class TestNLPSeqScaling:
+    @pytest.mark.parametrize("name", ["nasrnn", "lstm", "seq2seq"])
+    def test_eager_work_scales_linearly(self, name):
+        wl = get_workload(name)
+        with rt.profile() as p8:
+            wl.model_fn(*clone_args(wl.make_inputs(seq_len=8)))
+        with rt.profile() as p16:
+            wl.model_fn(*clone_args(wl.make_inputs(seq_len=16)))
+        assert 1.5 <= p16.num_launches / p8.num_launches <= 2.5
+
+    def test_attention_is_causal(self):
+        wl = get_workload("attention")
+        q, k, v = wl.make_inputs(batch_size=1, seq_len=6)
+        out, probs = wl.model_fn(q, k, v)
+        p = probs.numpy()[0]
+        upper = np.triu(p, k=1)
+        assert np.abs(upper).max() < 1e-6  # no attention to the future
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-5)
+
+
+class TestCVBehaviour:
+    def test_ssd_boxes_are_corner_form(self):
+        wl = get_workload("ssd")
+        boxes, filtered, best = wl.model_fn(*clone_args(
+            wl.make_inputs(batch_size=1)))
+        b = boxes.numpy()
+        assert (b[:, :, 2] >= b[:, :, 0]).mean() > 0.95
+        assert (b[:, :, 3] >= b[:, :, 1]).mean() > 0.95
+
+    def test_ssd_background_class_filtered(self):
+        wl = get_workload("ssd")
+        _, filtered, _ = wl.model_fn(*clone_args(
+            wl.make_inputs(batch_size=1)))
+        assert filtered.numpy()[:, :, 0].sum() == 0.0
+
+    def test_nms_suppresses_duplicates(self):
+        from repro.models.boxes import greedy_nms_suppress
+        box = rt.tensor([[[0.0, 0.0, 1.0, 1.0],
+                          [0.0, 0.0, 1.0, 1.0],
+                          [5.0, 5.0, 6.0, 6.0]]])
+        mask = greedy_nms_suppress(box, 0.5, 3)
+        assert mask.numpy()[0].tolist() == [0.0, 1.0, 0.0]
+
+    def test_yolact_crop_zeroes_outside(self):
+        wl = get_workload("yolact")
+        args = wl.make_inputs(batch_size=1, seed=4)
+        boxes, scores, cropped, area = wl.model_fn(*clone_args(args))
+        c = cropped.numpy()
+        assert (c >= 0).all()
+        # at least one mask has zeroed margins
+        assert (c == 0).any()
+
+    def test_yolov3_scores_bounded(self):
+        wl = get_workload("yolov3")
+        boxes, scores = wl.model_fn(*clone_args(
+            wl.make_inputs(batch_size=1)))
+        s = scores.numpy()
+        assert (s >= 0).all() and (s <= 1.0 + 1e-6).all()

@@ -1,0 +1,150 @@
+"""Canonicalization: algebraic identities and control-flow folding."""
+
+import numpy as np
+
+import repro.runtime as rt
+from repro.backend import run_graph
+from repro.frontend import script
+from repro.ir import clone_graph, parse_graph, verify
+from repro.passes import constant_fold, dce
+from repro.passes.canonicalize import canonicalize
+
+
+def scripted(fn):
+    return clone_graph(script(fn).graph)
+
+
+def check_equal(graph, fn, *args):
+    expected = fn(*[a.clone() if isinstance(a, rt.Tensor) else a
+                    for a in args])
+    got = run_graph(graph, [a.clone() if isinstance(a, rt.Tensor) else a
+                            for a in args])
+    exp = list(expected) if isinstance(expected, tuple) else [expected]
+    for g, e in zip(got, exp):
+        np.testing.assert_allclose(np.asarray(g.numpy(), dtype=float),
+                                   np.asarray(e.numpy(), dtype=float),
+                                   rtol=1e-6)
+
+
+class TestAlgebraic:
+    def test_add_zero_mul_one(self):
+        def f(x):
+            return ((x + 0.0) * 1.0 - 0.0) / 1.0
+        g = scripted(f)
+        assert canonicalize(g)
+        dce(g)
+        assert not g.nodes_of("aten::add", "aten::mul", "aten::sub",
+                              "aten::div")
+        check_equal(g, f, rt.rand((3,), seed=1))
+
+    def test_double_neg(self):
+        def f(x):
+            return -(-x)
+        g = scripted(f)
+        canonicalize(g)
+        dce(g)
+        assert len(g.nodes_of("aten::neg")) == 0
+        check_equal(g, f, rt.rand((3,), seed=2))
+
+    def test_relu_of_sigmoid(self):
+        def f(x):
+            return x.sigmoid().relu()
+        g = scripted(f)
+        canonicalize(g)
+        dce(g)
+        assert not g.nodes_of("aten::relu")
+        check_equal(g, f, rt.randn((4,), seed=3))
+
+    def test_transpose_transpose(self):
+        def f(x):
+            return x.transpose(0, 1).transpose(0, 1) + 1.0
+        g = scripted(f)
+        canonicalize(g)
+        dce(g)
+        assert not g.nodes_of("aten::transpose")
+        check_equal(g, f, rt.rand((2, 3), seed=4))
+
+    def test_clamp_merge(self):
+        def f(x):
+            return x.clamp(-1.0, 1.0).clamp(-0.5, 2.0)
+        g = scripted(f)
+        canonicalize(g)
+        dce(g)
+        assert len(g.nodes_of("aten::clamp")) == 1
+        check_equal(g, f, rt.randn((6,), seed=5))
+
+    def test_identities_skipped_when_graph_mutates(self):
+        """`y = x + 0.0` must NOT become an alias of x when y is later
+        mutated — the identity is only applied to pure graphs."""
+        def f(x):
+            y = x + 0.0
+            y.add_(5.0)
+            return x.sum(), y
+        g = scripted(f)
+        canonicalize(g)
+        assert g.nodes_of("aten::add")  # identity not applied
+        check_equal(g, f, rt.rand((3,), seed=6))
+
+
+class TestControlFlowFolding:
+    def test_constant_true_if_splices_then(self):
+        def f(x):
+            if 2 > 1:
+                y = x * 3.0
+            else:
+                y = x * 100.0
+            return y
+        g = scripted(f)
+        constant_fold(g)
+        canonicalize(g)
+        dce(g)
+        assert not g.nodes_of("prim::If")
+        check_equal(g, f, rt.rand((2,), seed=7))
+
+    def test_zero_trip_loop_forwards_inits(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor):
+  %z.0 = prim::Constant[value=0]()
+  %t.0 = prim::Constant[value=True]()
+  %o.0 = prim::Loop(%z.0, %t.0, %x.0)
+    block0(%i.0 : Int, %a.0 : Tensor):
+      %c.0 = prim::Constant[value=9.0]()
+      %n.0 = aten::add(%a.0, %c.0)
+      -> (%t.0, %n.0)
+  return (%o.0)
+""")
+        canonicalize(g)
+        dce(g)
+        verify(g)
+        assert not g.nodes_of("prim::Loop")
+        assert run_graph(g, [rt.tensor([1.0])])[0].item() == 1.0
+
+    def test_false_condition_loop_removed(self):
+        g = parse_graph("""
+graph g(%x.0 : Tensor, %n.0 : Int):
+  %f.0 = prim::Constant[value=False]()
+  %o.0 = prim::Loop(%n.0, %f.0, %x.0)
+    block0(%i.0 : Int, %a.0 : Tensor):
+      %c.0 = prim::Constant[value=9.0]()
+      %m.0 = aten::add(%a.0, %c.0)
+      -> (%f.0, %m.0)
+  return (%o.0)
+""")
+        canonicalize(g)
+        dce(g)
+        assert not g.nodes_of("prim::Loop")
+        assert run_graph(g, [rt.tensor([2.0]), 7])[0].item() == 2.0
+
+    def test_dynamic_structures_untouched(self):
+        def f(x, flag: bool, n: int):
+            y = x * 1.0
+            if flag:
+                y = y + 1.0
+            for i in range(n):
+                y = y * 2.0
+            return y
+        g = scripted(f)
+        canonicalize(g)
+        assert g.nodes_of("prim::If")
+        assert g.nodes_of("prim::Loop")
+        check_equal(g, f, rt.rand((2,), seed=8), True, 3)

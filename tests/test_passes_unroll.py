@@ -1,0 +1,154 @@
+"""Loop unrolling and shape specialization (tracing-pipeline passes)."""
+
+import numpy as np
+
+import repro.runtime as rt
+from repro.backend import run_graph
+from repro.frontend import script
+from repro.ir import clone_graph, verify
+from repro.passes import constant_fold, cse, dce, specialize_shapes, unroll_loops
+
+
+def scripted(fn):
+    return clone_graph(script(fn).graph)
+
+
+def check_equal(graph, fn, *args):
+    expected = fn(*[a.clone() if isinstance(a, rt.Tensor) else a
+                    for a in args])
+    got = run_graph(graph, [a.clone() if isinstance(a, rt.Tensor) else a
+                            for a in args])
+    exp = list(expected) if isinstance(expected, tuple) else [expected]
+    for g, e in zip(got, exp):
+        ga = g.numpy() if isinstance(g, rt.Tensor) else np.asarray(g)
+        ea = e.numpy() if isinstance(e, rt.Tensor) else np.asarray(e)
+        np.testing.assert_allclose(ga.astype(float), ea.astype(float),
+                                   rtol=1e-5)
+
+
+def const_loop(x):
+    y = x.clone()
+    for i in range(4):
+        y = y + float(i)
+    return y
+
+
+def loop_with_mutation(x):
+    y = x.clone()
+    for i in range(3):
+        y[i] = float(i)
+    return y
+
+
+def nested_const_loops(x):
+    y = x.clone()
+    for i in range(2):
+        for j in range(3):
+            y[i, j] = float(i * 3 + j)
+    return y
+
+
+def dynamic_loop(x, n: int):
+    y = x.clone()
+    for i in range(n):
+        y = y + 1.0
+    return y
+
+
+def shape_driven_loop(x):
+    y = x.clone()
+    for i in range(x.shape[0]):
+        y[i] = y[i] * 2.0
+    return y
+
+
+class TestUnroll:
+    def test_constant_trip_unrolls(self):
+        g = scripted(const_loop)
+        assert unroll_loops(g) == 1
+        assert not g.nodes_of("prim::Loop")
+        verify(g)
+        check_equal(g, const_loop, rt.rand((3,), seed=1))
+
+    def test_unrolled_mutations_survive(self):
+        g = scripted(loop_with_mutation)
+        unroll_loops(g)
+        verify(g)
+        assert len(g.nodes_of("aten::fill_")) == 3
+        check_equal(g, loop_with_mutation, rt.rand((4,), seed=2))
+
+    def test_nested_loops_unroll_inner_first(self):
+        g = scripted(nested_const_loops)
+        assert unroll_loops(g) == 2
+        assert not g.nodes_of("prim::Loop")
+        check_equal(g, nested_const_loops, rt.rand((2, 3), seed=3))
+
+    def test_dynamic_trip_left_alone(self):
+        g = scripted(dynamic_loop)
+        assert unroll_loops(g) == 0
+        assert g.nodes_of("prim::Loop")
+        check_equal(g, dynamic_loop, rt.rand((2,), seed=4), 5)
+
+    def test_budget_respected(self):
+        g = scripted(const_loop)
+        assert unroll_loops(g, max_trip=3) == 0
+        assert g.nodes_of("prim::Loop")
+
+    def test_zero_trip_unrolls_to_nothing(self):
+        def f(x):
+            y = x.clone()
+            for i in range(0):
+                y = y + 100.0
+            return y
+        g = scripted(f)
+        unroll_loops(g)
+        dce(g)
+        assert not g.nodes_of("prim::Loop")
+        check_equal(g, f, rt.rand((2,), seed=5))
+
+    def test_while_loop_never_unrolls(self):
+        def f(n: int):
+            i = 0
+            while i < n:
+                i += 1
+            return i
+        g = scripted(f)
+        assert unroll_loops(g) == 0
+
+
+class TestSpecialize:
+    def test_folds_input_shape_queries(self):
+        g = scripted(shape_driven_loop)
+        x = rt.rand((4, 2), seed=6)
+        folded = specialize_shapes(g, [x])
+        assert folded >= 1
+        assert not g.nodes_of("aten::size")
+        verify(g)
+
+    def test_specialize_then_unroll(self):
+        g = scripted(shape_driven_loop)
+        x = rt.rand((4, 2), seed=7)
+        specialize_shapes(g, [x])
+        constant_fold(g)
+        cse(g)
+        assert unroll_loops(g) == 1
+        check_equal(g, shape_driven_loop, x)
+
+    def test_scalar_inputs_specialize(self):
+        g = scripted(dynamic_loop)
+        x = rt.rand((2,), seed=8)
+        specialize_shapes(g, [x, 5])
+        constant_fold(g)
+        assert unroll_loops(g) == 1
+        check_equal(g, dynamic_loop, x, 5)
+
+    def test_specialized_graph_is_shape_specific(self):
+        # this is exactly why tracing pipelines must recompile per shape
+        g = scripted(shape_driven_loop)
+        specialize_shapes(g, [rt.rand((2, 2), seed=9)])
+        constant_fold(g)
+        unroll_loops(g)
+        bigger = rt.rand((4, 2), seed=10)
+        got = run_graph(g, [bigger.clone()])[0]
+        expected = shape_driven_loop(bigger.clone())
+        assert not np.allclose(got.numpy(), expected.numpy())

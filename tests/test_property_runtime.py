@@ -1,0 +1,153 @@
+"""Property-based tests: runtime semantics against the numpy oracle."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+import repro.runtime as rt
+
+f32_arrays = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1,
+                           max_side=5),
+    elements=st.floats(-100, 100, width=32))
+
+
+@st.composite
+def array_pair(draw):
+    a = draw(f32_arrays)
+    b = draw(hnp.arrays(np.float32, a.shape,
+                        elements=st.floats(-100, 100, width=32)))
+    return a, b
+
+
+class TestElementwiseOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=array_pair())
+    def test_binary_ops(self, pair):
+        a, b = pair
+        ta, tb = rt.from_numpy(a), rt.from_numpy(b)
+        np.testing.assert_allclose(rt.add(ta, tb).numpy(), a + b,
+                                   rtol=1e-6)
+        np.testing.assert_allclose(rt.mul(ta, tb).numpy(), a * b,
+                                   rtol=1e-6)
+        np.testing.assert_array_equal(rt.maximum(ta, tb).numpy(),
+                                      np.maximum(a, b))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=f32_arrays)
+    def test_unary_ops(self, a):
+        t = rt.from_numpy(a)
+        np.testing.assert_allclose(rt.tanh(t).numpy(), np.tanh(a),
+                                   rtol=1e-5, atol=1e-6)
+        np.testing.assert_array_equal(rt.relu(t).numpy(),
+                                      np.maximum(a, 0))
+        np.testing.assert_allclose(
+            rt.sigmoid(t).numpy(), 1 / (1 + np.exp(-a.astype(np.float64))),
+            rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=f32_arrays)
+    def test_dtype_stability(self, a):
+        t = rt.from_numpy(a)
+        for out in (t + 1, t * 0.5, t.relu(), rt.clamp(t, -1.0, 1.0)):
+            assert out.dtype is rt.float32
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=f32_arrays)
+    def test_reductions(self, a):
+        t = rt.from_numpy(a)
+        np.testing.assert_allclose(rt.sum(t).item(),
+                                   a.astype(np.float64).sum(),
+                                   rtol=1e-3, atol=1e-3)
+        assert rt.max(t).item() == a.max()
+        assert rt.argmax(t).item() == int(np.argmax(a))
+
+
+class TestViewMutationOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_random_view_chain_mutation(self, data):
+        """Build a random view chain, mutate through it, and verify the
+        write lands exactly where numpy says it should."""
+        base = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        t = rt.from_numpy(base)
+        ref = base.copy()
+
+        view_t, view_ref = t, ref
+        for _ in range(data.draw(st.integers(1, 3))):
+            if view_ref.ndim == 0:
+                break
+            dim = data.draw(st.integers(0, view_ref.ndim - 1))
+            size = view_ref.shape[dim]
+            if data.draw(st.booleans()):
+                idx = data.draw(st.integers(0, size - 1))
+                view_t = view_t.select(dim, idx)
+                # slice-then-squeeze keeps the numpy reference a view
+                # even when it becomes 0-d (int indexing would return a
+                # detached scalar)
+                view_ref = view_ref[
+                    (slice(None),) * dim + (slice(idx, idx + 1),)
+                ].squeeze(dim)
+            else:
+                a = data.draw(st.integers(0, size - 1))
+                b = data.draw(st.integers(a + 1, size))
+                view_t = view_t.slice(dim, a, b)
+                view_ref = view_ref[(slice(None),) * dim + (slice(a, b),)]
+
+        value = data.draw(st.floats(-10, 10, width=32))
+        view_t.fill_(value)
+        view_ref[...] = value
+        np.testing.assert_array_equal(t.numpy(), ref)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=f32_arrays, s=st.floats(-5, 5, width=32))
+    def test_inplace_equals_out_of_place(self, a, s):
+        t1 = rt.from_numpy(a)
+        t2 = rt.from_numpy(a)
+        t1.add_(s)
+        out = rt.add(t2, s)
+        np.testing.assert_allclose(t1.numpy(), out.numpy(), rtol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=f32_arrays)
+    def test_clone_isolates(self, a):
+        t = rt.from_numpy(a)
+        c = t.clone()
+        c.mul_(0.0)
+        np.testing.assert_array_equal(t.numpy(), a)
+
+
+class TestFusedKernelOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_random_expression_fused_equals_eager(self, data):
+        """Random elementwise expression trees: fused == unfused."""
+        import linecache
+        import itertools
+        ops = ["+", "-", "*"]
+        unary = [".sigmoid()", ".tanh()", ".relu()", ".exp()"]
+        expr = "x"
+        for _ in range(data.draw(st.integers(1, 5))):
+            if data.draw(st.booleans()):
+                expr = f"({expr} {data.draw(st.sampled_from(ops))} "\
+                       f"{round(data.draw(st.floats(-2, 2)), 3)})"
+            else:
+                expr = f"({expr}){data.draw(st.sampled_from(unary))}"
+        src = f"def f(x):\n    return {expr}\n"
+        filename = f"<hypo_expr_{id(expr)}>"
+        linecache.cache[filename] = (len(src), None,
+                                     src.splitlines(True), filename)
+        ns = {}
+        exec(compile(src, filename, "exec"), ns)  # noqa: S102
+        fn = ns["f"]
+
+        from repro.pipelines import TensorSSAPipeline
+        compiled = TensorSSAPipeline().compile(fn)
+        x = rt.from_numpy(
+            data.draw(hnp.arrays(np.float32, (5,),
+                                 elements=st.floats(-3, 3, width=32))))
+        got = compiled(x.clone())
+        expected = fn(x.clone())
+        np.testing.assert_allclose(got.numpy(), expected.numpy(),
+                                   rtol=1e-5, atol=1e-6)

@@ -1,0 +1,153 @@
+"""Property-based differential testing of the whole compiler.
+
+Hypothesis generates random imperative tensor programs — view chains,
+in-place mutations, snapshots, loops, branches — and every pipeline must
+produce results identical to eager execution, including the caller-
+visible mutation of inputs.  This is the strongest correctness evidence
+in the suite: any unsound functionalization, fusion move, or renaming
+bug shows up as a value mismatch.
+"""
+
+import linecache
+import itertools
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro.runtime as rt
+from repro.pipelines import DynamoInductorPipeline, TensorSSAPipeline
+
+_counter = itertools.count()
+
+SIZE = 6  # all generated programs operate on float32 vectors of size 6
+
+
+def _span(draw):
+    a = draw(st.integers(0, SIZE - 1))
+    b = draw(st.integers(a + 1, SIZE))
+    return a, b
+
+
+def _scalar(draw):
+    return draw(st.floats(-2.0, 2.0).map(lambda f: round(f, 3)))
+
+
+@st.composite
+def imperative_program(draw):
+    """Source code of a function f(x, flag, n) mutating a clone of x."""
+    lines = ["def f(x, flag: bool, n: int):",
+             "    y = x.clone()",
+             "    acc = y * 0.0"]
+    n_stmts = draw(st.integers(2, 7))
+    view_count = 0
+    for _ in range(n_stmts):
+        kind = draw(st.integers(0, 7))
+        if kind == 0:
+            i = draw(st.integers(0, SIZE - 1))
+            lines.append(f"    y[{i}] = {_scalar(draw)}")
+        elif kind == 1:
+            a, b = _span(draw)
+            lines.append(f"    y[{a}:{b}] = {_scalar(draw)}")
+        elif kind == 2:
+            a, b = _span(draw)
+            width = b - a
+            c = draw(st.integers(0, SIZE - width))
+            lines.append(
+                f"    y[{a}:{b}] = y[{c}:{c + width}] * {_scalar(draw)}")
+        elif kind == 3:
+            op = draw(st.sampled_from(["add_", "mul_", "sigmoid_",
+                                       "relu_"]))
+            arg = "" if op in ("sigmoid_", "relu_") else f"{_scalar(draw)}"
+            lines.append(f"    y.{op}({arg})")
+        elif kind == 4:
+            a, b = _span(draw)
+            name = f"v{view_count}"
+            view_count += 1
+            lines.append(f"    {name} = y[{a}:{b}]")
+            lines.append(f"    {name}.add_({_scalar(draw)})")
+        elif kind == 5:
+            trip = draw(st.integers(1, 3))
+            lines.append(f"    for i in range({trip}):")
+            lines.append(f"        y[i] = y[i] + {_scalar(draw)}")
+        elif kind == 6:
+            i = draw(st.integers(0, SIZE - 1))
+            j = draw(st.integers(0, SIZE - 1))
+            lines.append("    if flag:")
+            lines.append(f"        y[{i}] = {_scalar(draw)}")
+            lines.append("    else:")
+            lines.append(f"        y[{j}] = {_scalar(draw)}")
+        elif kind == 7:
+            # snapshot: later mutations must NOT retroactively change it
+            lines.append(f"    acc = acc + y * {_scalar(draw)}")
+    lines.append("    return y, acc, acc.sum()")
+    return "\n".join(lines) + "\n"
+
+
+def _materialize(source: str):
+    filename = f"<hypo_prog_{next(_counter)}>"
+    linecache.cache[filename] = (len(source), None,
+                                 source.splitlines(True), filename)
+    namespace = {"rt": rt}
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+    return namespace["f"]
+
+
+def _run_and_compare(source: str, pipeline, flag: bool) -> None:
+    fn = _materialize(source)
+    x_data = np.linspace(-1.0, 1.0, SIZE).astype(np.float32)
+
+    eager_x = rt.from_numpy(x_data)
+    expected = fn(eager_x, flag, 2)
+
+    compiled = pipeline.compile(fn, example_args=(rt.from_numpy(x_data),
+                                                  flag, 2))
+    opt_x = rt.from_numpy(x_data)
+    got = compiled(opt_x, flag, 2)
+
+    for i, (g, e) in enumerate(zip(got, expected)):
+        ga = g.numpy() if isinstance(g, rt.Tensor) else np.float64(g)
+        ea = e.numpy() if isinstance(e, rt.Tensor) else np.float64(e)
+        np.testing.assert_allclose(
+            ga, ea, rtol=1e-5, atol=1e-6,
+            err_msg=f"output {i} diverged for program:\n{source}")
+    np.testing.assert_allclose(
+        opt_x.numpy(), eager_x.numpy(), rtol=1e-5,
+        err_msg=f"input mutation semantics diverged:\n{source}")
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=imperative_program(), flag=st.booleans())
+def test_tensorssa_matches_eager(source, flag):
+    _run_and_compare(source, TensorSSAPipeline(), flag)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=imperative_program(), flag=st.booleans())
+def test_tensorssa_ablations_match_eager(source, flag):
+    _run_and_compare(
+        source, TensorSSAPipeline(horizontal=False, name="nh"), flag)
+    _run_and_compare(
+        source, TensorSSAPipeline(vertical=False, name="nv"), flag)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=imperative_program(), flag=st.booleans())
+def test_dynamo_pipeline_matches_eager(source, flag):
+    _run_and_compare(source, DynamoInductorPipeline(), flag)
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=imperative_program(), flag=st.booleans())
+def test_no_mutation_survives_conversion(source, flag):
+    fn = _materialize(source)
+    # revert_unfused deliberately reintroduces (proven-local) mutation;
+    # this property checks the conversion itself, so switch it off
+    compiled = TensorSSAPipeline(revert_unfused=False,
+                                 name="tssa_pure").compile(fn)
+    graph = compiled.graph
+    for node in graph.walk():
+        if node.schema.is_mutating:
+            # only the input copy-back epilogue may remain
+            assert node.op == "aten::copy_"
+            assert node.owning_block is graph.block
+            assert node.input(0).is_param

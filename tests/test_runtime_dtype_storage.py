@@ -1,0 +1,111 @@
+"""DType system and Storage bookkeeping edge cases."""
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from repro.runtime.dtype import DType, promote
+from repro.runtime.storage import Storage
+
+
+class TestDType:
+    def test_singletons(self):
+        assert DType.from_numpy(np.float32) is rt.float32
+        assert DType.from_numpy("int64") is rt.int64
+        assert DType.from_numpy(np.dtype(bool)) is rt.bool_
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            DType.from_numpy(np.complex64)
+
+    def test_scalar_inference(self):
+        assert DType.of(True) is rt.bool_
+        assert DType.of(3) is rt.int64
+        assert DType.of(3.5) is rt.float32
+        with pytest.raises(TypeError):
+            DType.of("nope")
+
+    def test_predicates(self):
+        assert rt.float32.is_float and not rt.float32.is_int
+        assert rt.int64.is_int and not rt.int64.is_bool
+        assert rt.bool_.is_bool
+
+    def test_itemsize(self):
+        assert rt.float32.itemsize == 4
+        assert rt.float64.itemsize == 8
+        assert rt.int32.itemsize == 4
+
+    def test_promote(self):
+        assert promote(rt.float32, rt.int64) is rt.float64
+        assert promote(rt.int32, rt.int64) is rt.int64
+        assert promote(rt.float32, rt.float32) is rt.float32
+
+    def test_repr(self):
+        assert repr(rt.float32) == "repro.float32"
+
+
+class TestStorage:
+    def test_ids_are_unique(self):
+        a, b = rt.zeros((2,)), rt.zeros((2,))
+        assert a.storage.id != b.storage.id
+
+    def test_views_share_storage_object(self):
+        a = rt.zeros((4,))
+        v = a.slice(0, 1, 3)
+        assert v.storage is a.storage
+        assert a.shares_storage_with(v)
+
+    def test_version_counts_each_mutation(self):
+        a = rt.zeros((4,))
+        start = a.version
+        a.add_(1)
+        a.select(0, 0).fill_(2)
+        a[1:3] = 7.0
+        assert a.version == start + 3
+
+    def test_pure_ops_do_not_bump_version(self):
+        a = rt.ones((4,))
+        start = a.version
+        _ = (a + 1).sigmoid().sum()
+        _ = a.slice(0, 0, 2)
+        assert a.version == start
+
+    def test_nbytes(self):
+        a = rt.zeros((3, 4))
+        assert a.storage.nbytes == 48
+        assert a.nbytes == 48
+        assert a.slice(1, 0, 2).nbytes == 24
+
+    def test_repr(self):
+        s = Storage(np.zeros(4, np.float32))
+        assert "nbytes=16" in repr(s)
+
+
+class TestTensorMisc:
+    def test_len_and_iterability_guard(self):
+        a = rt.zeros((3, 2))
+        assert len(a) == 3
+        with pytest.raises(TypeError):
+            len(a.select(0, 0).select(0, 0))
+
+    def test_int_float_casts(self):
+        assert int(rt.tensor([3.9])) == 3
+        assert float(rt.tensor([2])) == 2.0
+
+    def test_repr_contains_shape(self):
+        assert "shape=(2, 2)" in repr(rt.zeros((2, 2)))
+
+    def test_scalar_sync_recorded_for_item_and_bool(self):
+        t = rt.tensor([1.0])
+        with rt.profile() as prof:
+            t.item()
+            bool(t > 0)
+        kinds = [e.kind for e in prof.python_events]
+        assert kinds.count("scalar_sync") == 2
+
+    def test_as_tensor_float64_list_downcast(self):
+        t = rt.as_tensor([1.5, 2.5])
+        assert t.dtype is rt.float32
+
+    def test_tolist(self):
+        assert rt.tensor([[1, 2], [3, 4]]).tolist() == [[1, 2], [3, 4]]

@@ -1,0 +1,77 @@
+"""Kernel-launch accounting (substrate for paper Figure 6)."""
+
+import repro.runtime as rt
+from repro.runtime import profiler
+
+
+class TestLaunchCounting:
+    def test_compute_op_is_one_launch(self):
+        a = rt.ones((4,))
+        with rt.profile() as p:
+            rt.add(a, a)
+        assert p.num_launches == 1
+        assert p.events[0].op == "add"
+
+    def test_view_ops_launch_nothing(self):
+        a = rt.ones((4, 4))
+        with rt.profile() as p:
+            a.select(0, 1)
+            a.slice(1, 0, 2)
+            a.transpose(0, 1)
+            a.reshape((16,))
+            a.unsqueeze(0)
+        assert p.num_launches == 0
+
+    def test_inplace_op_is_one_launch(self):
+        a = rt.ones((4,))
+        with rt.profile() as p:
+            a.add_(1)
+        assert p.num_launches == 1
+
+    def test_nested_profiles_both_record(self):
+        a = rt.ones((4,))
+        with rt.profile() as outer:
+            rt.add(a, a)
+            with rt.profile() as inner:
+                rt.mul(a, a)
+        assert outer.num_launches == 2
+        assert inner.num_launches == 1
+
+    def test_not_profiling_records_nothing(self):
+        a = rt.ones((4,))
+        rt.add(a, a)
+        assert profiler.current_profile() is None
+
+    def test_bytes_and_flops_accounting(self):
+        a = rt.ones((100,))
+        with rt.profile() as p:
+            rt.add(a, a)
+        ev = p.events[0]
+        assert ev.bytes == 3 * 100 * 4  # two inputs + one output, fp32
+        assert ev.flops == 100
+
+    def test_matmul_flops(self):
+        a, b = rt.ones((8, 16)), rt.ones((16, 4))
+        with rt.profile() as p:
+            rt.matmul(a, b)
+        assert p.events[0].flops == 2 * 8 * 16 * 4
+
+    def test_python_events(self):
+        with rt.profile() as p:
+            rt.record_python("graph_break")
+            rt.record_python("graph_break", count=3)
+        assert p.num_python_steps == 4
+
+    def test_fused_event_aggregation(self):
+        with rt.profile() as p:
+            rt.record_launch("fused_kernel", nbytes=1000, flops=500,
+                             fused_ops=7)
+        assert p.num_launches == 1
+        assert p.events[0].fused_ops == 7
+        assert p.total_bytes == 1000
+
+    def test_clear(self):
+        with rt.profile() as p:
+            rt.add(rt.ones((2,)), 1)
+            p.clear()
+            assert p.num_launches == 0

@@ -1,0 +1,303 @@
+"""TensorSSA conversion (Algorithm 1): unit and equivalence tests."""
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from repro.backend import run_graph
+from repro.frontend import script
+from repro.ir import clone_graph, verify
+from repro.passes import dce
+from repro.tensorssa import convert_to_tensorssa
+
+
+def convert(fn):
+    graph = clone_graph(script(fn).graph)
+    report = convert_to_tensorssa(graph)
+    dce(graph)
+    verify(graph)
+    return graph, report
+
+
+def check_equivalent(fn, *args, intra_block_only=False):
+    graph = clone_graph(script(fn).graph)
+    report = convert_to_tensorssa(graph, intra_block_only=intra_block_only)
+    dce(graph)
+    verify(graph)
+
+    def cloned():
+        return [a.clone() if isinstance(a, rt.Tensor) else a for a in args]
+
+    eager_args, opt_args = cloned(), cloned()
+    expected = fn(*eager_args)
+    got = run_graph(graph, opt_args)
+    exp_list = list(expected) if isinstance(expected, tuple) else [expected]
+    assert len(got) == len(exp_list)
+    for g, e in zip(got, exp_list):
+        ga = g.numpy() if isinstance(g, rt.Tensor) else np.asarray(g)
+        ea = e.numpy() if isinstance(e, rt.Tensor) else np.asarray(e)
+        np.testing.assert_allclose(ga.astype(float), ea.astype(float),
+                                   rtol=1e-5, atol=1e-6)
+    for ea_in, ga_in in zip(eager_args, opt_args):
+        if isinstance(ea_in, rt.Tensor):
+            np.testing.assert_allclose(ga_in.numpy(), ea_in.numpy(),
+                                       rtol=1e-5, err_msg="input mutation")
+    return graph, report
+
+
+def inner_mutations(graph):
+    return [n.op for n in graph.walk()
+            if n.schema.is_mutating and not (
+                n.op == "aten::copy_" and n.input(0).is_param
+                and n.input(0).param_block.owning_node is None)]
+
+
+# -- straight-line ------------------------------------------------------------
+
+def slice_mutation(x):
+    y = x.clone()
+    y[0:2] = y[2:4] * 2.0
+    return y
+
+
+def deep_chain(x):
+    y = x.clone()
+    v = y.select(0, 1).slice(0, 0, 3).select(0, 2)
+    v.fill_(9.0)
+    return y
+
+
+def inplace_arith(x):
+    y = x.clone()
+    y.select(0, 0).add_(5.0)
+    y.slice(0, 1, 3).mul_(2.0)
+    y.sigmoid_()
+    return y
+
+
+def repeated_mutations(x):
+    y = x.clone()
+    y[0] = 1.0
+    y[1] = y[0] + 1.0
+    y[2] = y[1] + 1.0
+    return y
+
+
+def transpose_mutation(x):
+    y = x.clone()
+    t = y.transpose(0, 1)
+    t[0] = 7.0
+    return y
+
+
+def reshape_mutation(x):
+    y = x.clone()
+    r = y.reshape((6,))
+    r[2] = -3.0
+    return y
+
+
+def view_before_mutation_read_after(x):
+    y = x.clone()
+    early = y[1:]
+    y[0] = 100.0
+    y[2] = 200.0
+    return early.sum()  # must observe both mutations (alias semantics)
+
+
+class TestStraightLine:
+    def test_slice_mutation(self):
+        g, _ = check_equivalent(slice_mutation, rt.rand((4, 2), seed=1))
+        assert not inner_mutations(g)
+
+    def test_deep_chain(self):
+        g, rep = check_equivalent(deep_chain, rt.rand((3, 4), seed=2))
+        assert not inner_mutations(g)
+        ops = [n.op for n in g.walk()]
+        assert "immut::select_assign" in ops
+        assert "immut::slice_assign" in ops
+
+    def test_inplace_arith(self):
+        g, rep = check_equivalent(inplace_arith, rt.rand((4,), seed=3))
+        assert rep.num_rewritten == 3
+        assert not inner_mutations(g)
+
+    def test_repeated_mutations_version_chain(self):
+        g, rep = check_equivalent(repeated_mutations, rt.rand((4,), seed=4))
+        assert rep.num_rewritten == 3
+
+    def test_transpose_mutation(self):
+        check_equivalent(transpose_mutation, rt.rand((3, 3), seed=5))
+
+    def test_reshape_mutation(self):
+        check_equivalent(reshape_mutation, rt.rand((2, 3), seed=6))
+
+    def test_view_taken_before_mutation(self):
+        check_equivalent(view_before_mutation_read_after,
+                         rt.rand((4,), seed=7))
+
+
+# -- control flow ------------------------------------------------------------
+
+def paper_fig4(b, n: int):
+    b = b.clone()
+    for i in range(n):
+        b[i] = b[i] + 1.0
+    return b
+
+
+def paper_fig2(a, b, idx: int):
+    if idx >= 0:
+        a += 1.0
+        b[0] = a[0]
+    else:
+        a -= 1.0
+        b[1] = a[1]
+    return a, b
+
+
+def nested_loops(x, n: int, m: int):
+    y = x.clone()
+    for i in range(n):
+        for j in range(m):
+            y[i, j] = y[i, j] * 2.0 + float(i + j)
+    return y
+
+
+def mutation_in_branch_of_loop(x, n: int):
+    y = x.clone()
+    for i in range(n):
+        if i - (i // 2) * 2 == 0:
+            y[0] += 1.0
+        else:
+            y[1] += 2.0
+    return y
+
+
+def view_outside_mutated_inside(x, n: int):
+    y = x.clone()
+    head = y.select(0, 0)
+    for i in range(n):
+        head.add_(1.0)
+    return y, head + 0.0
+
+
+def accumulator_loop(x, n: int):
+    acc = rt.zeros((4,))
+    for i in range(n):
+        acc += x * float(i)
+    return acc
+
+
+class TestControlFlow:
+    def test_paper_fig4(self):
+        g, rep = check_equivalent(paper_fig4, rt.rand((4,), seed=8), 4)
+        assert not inner_mutations(g)
+        loop = g.nodes_of("prim::Loop")[0]
+        # b became loop-carried through block propagation
+        assert len(loop.inputs) == 3
+
+    def test_paper_fig4_zero_trip(self):
+        check_equivalent(paper_fig4, rt.rand((4,), seed=9), 0)
+
+    def test_paper_fig2_both_paths(self):
+        for idx in (1, -1):
+            g, rep = check_equivalent(
+                paper_fig2, rt.rand((3,), seed=10), rt.rand((3,), seed=11),
+                idx)
+            assert rep.copied_back_inputs == ["a.0", "b.0"]
+
+    def test_nested_loops(self):
+        g, _ = check_equivalent(nested_loops, rt.rand((3, 3), seed=12), 3, 3)
+        assert not inner_mutations(g)
+
+    def test_mutation_in_branch_of_loop(self):
+        check_equivalent(mutation_in_branch_of_loop, rt.rand((3,), seed=13),
+                         5)
+
+    def test_view_outside_mutated_inside(self):
+        check_equivalent(view_outside_mutated_inside, rt.rand((3,), seed=14),
+                         3)
+
+    def test_accumulator_param(self):
+        g, rep = check_equivalent(accumulator_loop, rt.rand((4,), seed=15),
+                                  4)
+        assert rep.num_rewritten == 1
+        assert not inner_mutations(g)
+
+
+# -- policy ------------------------------------------------------------------
+
+class TestPolicy:
+    def test_intra_block_skips_cross_boundary(self):
+        g, rep = check_equivalent(paper_fig4, rt.rand((4,), seed=16), 4,
+                                  intra_block_only=True)
+        assert rep.num_rewritten == 0
+        assert len(rep.skipped) == 1
+        assert "control-flow" in rep.skipped[0][1]
+
+    def test_intra_block_still_handles_straight_line(self):
+        g, rep = check_equivalent(slice_mutation, rt.rand((4, 2), seed=17),
+                                  intra_block_only=True)
+        assert rep.num_rewritten == 1
+
+    def test_updates_all_removed(self):
+        g, _ = convert(paper_fig4)
+        assert not g.nodes_of("tssa::update")
+
+    def test_no_op_on_pure_program(self):
+        def pure(x):
+            return (x * 2.0).sigmoid().sum()
+        g, rep = convert(pure)
+        assert rep.num_rewritten == 0
+        assert not rep.skipped
+
+    def test_input_mutation_copy_back_is_last(self):
+        def f(x):
+            x[0] = 0.0
+            return x.sum()
+        g, rep = convert(f)
+        assert rep.copied_back_inputs == ["x.0"]
+        copies = [n for n in g.block.nodes if n.op == "aten::copy_"]
+        assert copies and copies[-1] in g.block.nodes[-2:]
+
+    def test_ineligible_left_imperative_but_correct(self):
+        def f(x, flag: bool):
+            y = x.clone()
+            v = y[0] if flag else y[1]   # control-flow alias
+            v.fill_(0.0)                 # cannot functionalize
+            return y
+        g, rep = check_equivalent(f, rt.rand((2, 3), seed=18), True)
+        assert rep.skipped
+        assert any(n.op == "aten::fill_" for n in g.walk())
+
+
+def mixed_boundary_mutations(x, flag: bool):
+    # regression (found by hypothesis): the same origin is mutated both
+    # at top level and inside a branch — intra-block mode must leave the
+    # WHOLE T-set imperative, not half of it
+    y = x.clone()
+    y[0] = y[0] + 0.0
+    if flag:
+        y[0] = 5.0
+    else:
+        y[0] = 7.0
+    y[1] = y[1] + 1.0
+    return y
+
+
+class TestMixedBoundary:
+    def test_intra_block_all_or_nothing(self):
+        for flag in (True, False):
+            g, rep = check_equivalent(
+                mixed_boundary_mutations, rt.rand((3,), seed=21), flag,
+                intra_block_only=True)
+            assert rep.num_rewritten == 0
+            assert any("control-flow" in why for _, why in rep.skipped)
+
+    def test_holistic_handles_it_fully(self):
+        for flag in (True, False):
+            g, rep = check_equivalent(
+                mixed_boundary_mutations, rt.rand((3,), seed=22), flag)
+            assert rep.num_rewritten == 4
+            assert not inner_mutations(g)

