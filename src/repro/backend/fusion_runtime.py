@@ -5,6 +5,13 @@ marked ``horizontal`` by the parallelization pass (paper §4.2.2)
 executes all of its iterations inside a single launch — the graph-level
 equivalent of mapping the fused loop body across the iteration space on
 device.
+
+Kernels compute on raw numpy arrays, so only the *materialized outputs*
+(wrapped into Tensors by ``_wrap``) allocate ``Storage`` — and those
+allocations route through the active :class:`~repro.runtime.storage.
+MemoryPool` when the interpreter runs under a memory plan, which is how
+fused kernels participate in buffer donation (a dying operand's bytes,
+released just before the launch, serve the outputs).
 """
 
 from __future__ import annotations

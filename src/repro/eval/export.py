@@ -30,6 +30,7 @@ def collect_all(fig7: bool = True, fig8: bool = True) -> Dict[str, object]:
     data: Dict[str, object] = {
         "fig5": figures.fig5(echo=False),
         "fig6": figures.fig6(echo=False),
+        "fig_mem": figures.fig_mem(echo=False),
         "intro_fraction": figures.intro_fraction(echo=False),
     }
     if fig7:

@@ -139,6 +139,40 @@ def fig8(platform: str = "datacenter",
     return data
 
 
+def fig_mem(echo: bool = True) -> Dict[str, Dict[str, float]]:
+    """Peak-memory report: the static planner's effect per workload.
+
+    Runs the TensorSSA pipeline with and without memory planning and
+    reports arena peak bytes, reuse traffic, and the relative reduction
+    — the quantitative answer to the "functionalization inflates
+    memory" critique (every ``immut::`` op materializes a copy, but the
+    planner proves when each copy dies and recycles it).
+    """
+    data: Dict[str, Dict[str, float]] = {}
+    for name in WORKLOADS:
+        base = run_workload(name, "tensorssa_noplan")
+        opt = run_workload(name, "tensorssa")
+        reduction = (1.0 - opt.peak_bytes / base.peak_bytes
+                     if base.peak_bytes else 0.0)
+        data[name] = {
+            "unplanned_peak_bytes": base.peak_bytes,
+            "planned_peak_bytes": opt.peak_bytes,
+            "bytes_reused": opt.bytes_reused,
+            "reduction": reduction,
+        }
+    if echo:
+        rows = [[d["unplanned_peak_bytes"] / 1024.0,
+                 d["planned_peak_bytes"] / 1024.0,
+                 d["bytes_reused"] / 1024.0,
+                 d["reduction"] * 100.0] for d in data.values()]
+        print(format_table(
+            "Memory planning — peak KiB without/with plan",
+            ["no plan", "planned", "reused", "savings %"],
+            rows, list(data)))
+        print()
+    return data
+
+
 def intro_fraction(platform: str = "datacenter",
                    echo: bool = True) -> Dict[str, float]:
     """§1's claim: imperative programs are up to ~90% of end-to-end
@@ -178,13 +212,14 @@ def headline(echo: bool = True) -> Dict[str, float]:
 
 
 _FIGS = {"fig5": fig5, "fig6": fig6, "fig7": fig7, "fig8": fig8,
-         "intro": intro_fraction, "headline": headline}
+         "fig_mem": fig_mem, "intro": intro_fraction,
+         "headline": headline}
 
 
 def main(argv: Sequence[str]) -> None:
     """CLI entry point."""
-    targets = argv or ["fig5", "fig6", "fig7", "fig8", "intro",
-                       "headline"]
+    targets = argv or ["fig5", "fig6", "fig7", "fig8", "fig_mem",
+                       "intro", "headline"]
     for t in targets:
         if t not in _FIGS:
             raise SystemExit(f"unknown figure {t!r}; "

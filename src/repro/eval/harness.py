@@ -3,15 +3,18 @@ the run on a platform's cost model.
 
 ``run_workload`` is the single entry point the figures and the
 pytest-benchmark suites share.  Compilation is cached per
-(pipeline, workload), and runs verify numerical equivalence against
-eager on demand.
+(pipeline, workload, input shapes) with LRU eviction — shapes are part
+of the key because compiled artifacts carry shape-derived state (traced
+graphs, cached memory plans, specialized kernels) — and runs verify
+numerical equivalence against eager on demand.
 """
 
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -21,7 +24,53 @@ from ..pipelines import Pipeline, get_pipeline
 from ..pipelines.base import Compiled
 from .platforms import Platform, get_platform
 
-_compile_cache: Dict[Tuple[str, str], Compiled] = {}
+
+class _CompileCache:
+    """LRU map of (pipeline, workload, shape signature) -> Compiled.
+
+    Bounded so shape sweeps (Figures 7/8 scan batch sizes and sequence
+    lengths) cannot grow compilation state without limit; hit/miss
+    counters are surfaced on :class:`RunResult` so benchmarks can tell
+    recompilations from cache replays.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, Compiled]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple) -> Optional[Compiled]:
+        """Fetch and mark recently used; counts a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, compiled: Compiled) -> None:
+        """Insert, evicting the least recently used beyond capacity."""
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_compile_cache = _CompileCache()
 
 
 @dataclass
@@ -36,6 +85,14 @@ class RunResult:
     host_us: float
     kernel_launches: int
     fused_ops: int
+    #: memory-planner observability (arena high-water and reuse traffic)
+    peak_bytes: int = 0
+    bytes_allocated: int = 0
+    bytes_reused: int = 0
+    #: compile-cache state at the end of this run
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit: bool = False
     wallclock_s: Optional[float] = None
     outputs: tuple = field(default=(), repr=False)
 
@@ -49,19 +106,27 @@ def clone_args(args) -> tuple:
     return tuple(a.clone() if isinstance(a, rt.Tensor) else a for a in args)
 
 
+def _shape_signature(example_args) -> tuple:
+    """The batch/seq shape signature of a run's example inputs."""
+    if example_args is None:
+        return ()
+    return tuple(
+        tuple(a.shape) if isinstance(a, rt.Tensor) else a
+        for a in example_args)
+
+
 def compile_cached(pipeline: Pipeline, workload: Workload,
                    example_args=None) -> Compiled:
-    """Compile (or fetch) a pipeline/workload pair; tracing pipelines key on input shapes."""
-    key = (pipeline.name, workload.name)
-    if pipeline.needs_example_inputs and example_args is not None:
-        shapes = tuple(
-            tuple(a.shape) if isinstance(a, rt.Tensor) else a
-            for a in example_args)
-        key = key + (shapes,)
-    if key not in _compile_cache:
-        _compile_cache[key] = pipeline.compile(workload.model_fn,
-                                               example_args=example_args)
-    return _compile_cache[key]
+    """Compile (or fetch) a pipeline/workload pair, keyed on the input
+    shape signature so sweeps never replay state specialized for a
+    different batch size or sequence length."""
+    key = (pipeline.name, workload.name, _shape_signature(example_args))
+    compiled = _compile_cache.get(key)
+    if compiled is None:
+        compiled = pipeline.compile(workload.model_fn,
+                                    example_args=example_args)
+        _compile_cache.put(key, compiled)
+    return compiled
 
 
 def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
@@ -73,10 +138,13 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
     pipe = get_pipeline(pipeline)
     plat: Platform = get_platform(platform)
     args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len, seed=seed)
+    misses_before = _compile_cache.misses
     compiled = compile_cached(pipe, wl, example_args=args)
+    was_hit = _compile_cache.misses == misses_before
 
-    with rt.profile() as prof:
-        outputs = compiled(*clone_args(args))
+    run_args = clone_args(args)  # outside the profile: input prep is
+    with rt.profile() as prof:   # not part of the measured run
+        outputs = compiled(*run_args)
 
     if check:
         expected = wl.model_fn(*clone_args(args))
@@ -101,6 +169,12 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
         host_us=plat.host_time_us(prof, pipe.host_profile),
         kernel_launches=prof.num_launches,
         fused_ops=sum(e.fused_ops for e in prof.events),
+        peak_bytes=prof.peak_bytes,
+        bytes_allocated=prof.bytes_allocated,
+        bytes_reused=prof.bytes_reused,
+        cache_hits=_compile_cache.hits,
+        cache_misses=_compile_cache.misses,
+        cache_hit=was_hit,
         wallclock_s=wallclock,
         outputs=outputs if isinstance(outputs, tuple) else (outputs,),
     )

@@ -1,0 +1,81 @@
+"""Peak-memory regression gate for CI.
+
+``python -m repro.eval.memcheck [baseline.json]`` re-measures the
+TensorSSA pipeline's planned peak bytes per workload and compares
+against the checked-in baseline (``results/fig_mem.json`` by default).
+Exits non-zero when
+
+* any workload's planned ``peak_bytes`` regresses more than 10% over
+  the baseline (the planner lost reclamations), or
+* the planner no longer achieves a >=30% peak reduction on the RNN/
+  attention workloads the paper's memory argument rests on.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+from .figures import fig_mem
+
+#: tolerated growth of planned peak bytes over the baseline
+REGRESSION_TOLERANCE = 0.10
+#: workloads whose planned-vs-unplanned reduction must stay >= 30%
+REDUCTION_FLOOR_WORKLOADS = ("lstm", "nasrnn", "attention")
+REDUCTION_FLOOR = 0.30
+
+DEFAULT_BASELINE = "results/fig_mem.json"
+
+
+def check(baseline: Dict[str, Dict[str, float]],
+          current: Dict[str, Dict[str, float]]) -> List[str]:
+    """Compare a fresh fig_mem sweep against a baseline; returns the
+    list of violations (empty means the gate passes)."""
+    problems: List[str] = []
+    for name, entry in baseline.items():
+        if name not in current:
+            problems.append(f"{name}: missing from current measurement")
+            continue
+        base_peak = float(entry["planned_peak_bytes"])
+        cur_peak = float(current[name]["planned_peak_bytes"])
+        if base_peak > 0 and cur_peak > base_peak * (1 +
+                                                     REGRESSION_TOLERANCE):
+            problems.append(
+                f"{name}: planned peak regressed "
+                f"{base_peak:,.0f} -> {cur_peak:,.0f} bytes "
+                f"(> {REGRESSION_TOLERANCE:.0%} tolerance)")
+    for name in REDUCTION_FLOOR_WORKLOADS:
+        entry = current.get(name)
+        if entry is None:
+            problems.append(f"{name}: not measured")
+            continue
+        if float(entry["reduction"]) < REDUCTION_FLOOR:
+            problems.append(
+                f"{name}: peak reduction {float(entry['reduction']):.1%} "
+                f"below the {REDUCTION_FLOOR:.0%} floor")
+    return problems
+
+
+def main(argv) -> int:
+    """CLI entry point; returns the process exit code."""
+    path = argv[0] if argv else DEFAULT_BASELINE
+    with open(path) as fh:
+        baseline = json.load(fh)
+    current = fig_mem(echo=False)
+    problems = check(baseline, current)
+    for name, entry in sorted(current.items()):
+        print(f"{name:>10}: planned {entry['planned_peak_bytes']:>12,.0f}B "
+              f"(baseline {baseline.get(name, {}).get('planned_peak_bytes', 0):>12,.0f}B, "
+              f"reduction {entry['reduction']:.1%})")
+    if problems:
+        print("\nMEMCHECK FAILED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nmemcheck OK: no peak-memory regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -5,10 +5,11 @@ from .cse import cse
 from .dce import dce
 from .fusion import FuserConfig, fuse
 from .parallelize import parallelize_loops
-from .pass_manager import PassManager
+from .pass_manager import PASS_METRICS_KEY, PassManager, PassMetric
 
 __all__ = ["dce", "cse", "constant_fold", "fuse", "FuserConfig",
-           "parallelize_loops", "PassManager"]
+           "parallelize_loops", "PassManager", "PassMetric",
+           "PASS_METRICS_KEY"]
 
 from .specialize import specialize_shapes
 from .unroll import unroll_loops

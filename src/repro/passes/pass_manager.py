@@ -1,12 +1,47 @@
-"""A tiny pass manager: named passes, optional verification between."""
+"""A tiny pass manager: named passes, optional verification between.
+
+Each run also records per-pass telemetry — wall time and the node-count
+delta the pass caused — returned under the ``"__pass_metrics__"`` key of
+the results dict (a list of :class:`PassMetric`), which the pipelines
+forward to their stats and ``tools/inspect`` prints.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Tuple
 
 from ..ir import verify
 from ..ir.graph import Graph
+
+#: results-dict key holding the list of :class:`PassMetric`
+PASS_METRICS_KEY = "__pass_metrics__"
+
+
+@dataclass
+class PassMetric:
+    """Telemetry for one pass execution."""
+
+    name: str
+    wall_ms: float
+    nodes_before: int
+    nodes_after: int
+
+    @property
+    def node_delta(self) -> int:
+        """Change in graph node count (negative means nodes removed)."""
+        return self.nodes_after - self.nodes_before
+
+    def __repr__(self) -> str:
+        sign = "+" if self.node_delta >= 0 else ""
+        return (f"PassMetric({self.name}: {self.wall_ms:.2f}ms, "
+                f"{self.nodes_before}->{self.nodes_after} nodes "
+                f"({sign}{self.node_delta}))")
+
+
+def _count_nodes(graph: Graph) -> int:
+    return sum(1 for _ in graph.walk())
 
 
 @dataclass
@@ -22,10 +57,18 @@ class PassManager:
         return self
 
     def run(self, graph: Graph) -> dict:
-        """Run all passes; returns {pass_name: pass_result}."""
+        """Run all passes; returns {pass_name: pass_result} plus the
+        per-pass telemetry list under :data:`PASS_METRICS_KEY`."""
         results = {}
+        metrics: List[PassMetric] = []
         for name, fn in self.passes:
+            nodes_before = _count_nodes(graph)
+            start = time.perf_counter()
             results[name] = fn(graph)
+            wall_ms = (time.perf_counter() - start) * 1e3
+            metrics.append(PassMetric(name=name, wall_ms=wall_ms,
+                                      nodes_before=nodes_before,
+                                      nodes_after=_count_nodes(graph)))
             if self.verify_each:
                 try:
                     verify(graph)
@@ -33,4 +76,5 @@ class PassManager:
                     raise AssertionError(
                         f"IR verification failed after pass {name!r}: "
                         f"{exc}") from exc
+        results[PASS_METRICS_KEY] = metrics
         return results

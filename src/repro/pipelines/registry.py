@@ -22,14 +22,25 @@ def default_pipelines() -> List[Pipeline]:
     ]
 
 
+def extra_pipelines() -> List[Pipeline]:
+    """Ablation variants resolvable by name but outside Figure 5's
+    lineup — currently the memory-planner ablation used by the peak-
+    memory report (``results/fig_mem.json``)."""
+    return [
+        TensorSSAPipeline(plan_memory=False, name="tensorssa_noplan"),
+    ]
+
+
 def pipelines_by_name() -> Dict[str, Pipeline]:
     """The default pipelines keyed by their names."""
     return {p.name: p for p in default_pipelines()}
 
 
 def get_pipeline(name: str) -> Pipeline:
-    """Look up a pipeline by name."""
+    """Look up a pipeline by name (default lineup plus ablations)."""
     table = pipelines_by_name()
+    for p in extra_pipelines():
+        table.setdefault(p.name, p)
     if name not in table:
         raise KeyError(f"unknown pipeline {name!r}; "
                        f"choose from {sorted(table)}")

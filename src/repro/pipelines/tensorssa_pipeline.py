@@ -18,6 +18,7 @@ from ..backend.interpreter import run_graph
 from ..frontend import script
 from ..ir import verify
 from ..ir.clone import clone_graph
+from ..memplan import get_or_build_plan
 from ..passes import (FuserConfig, PassManager, canonicalize, constant_fold,
                       cse, dce, fuse, parallelize_loops)
 from ..passes.revert import revert_unfused_assigns
@@ -33,11 +34,12 @@ class TensorSSAPipeline(Pipeline):
 
     def __init__(self, vertical: bool = True, horizontal: bool = True,
                  intra_block_only: bool = False, revert_unfused: bool = True,
-                 name: str = None) -> None:
+                 plan_memory: bool = True, name: str = None) -> None:
         self.vertical = vertical
         self.horizontal = horizontal
         self.intra_block_only = intra_block_only
         self.revert_unfused = revert_unfused
+        self.plan_memory = plan_memory
         if name is not None:
             self.name = name
 
@@ -69,9 +71,16 @@ class TensorSSAPipeline(Pipeline):
         stats["skip_reasons"] = report.skipped
         stats["pass_results"] = {k: v for k, v in results.items()
                                  if isinstance(v, (int, bool))}
+        if "__pass_metrics__" in results:
+            stats["pass_metrics"] = results["__pass_metrics__"]
+
+        plan = None
+        if self.plan_memory:
+            plan = get_or_build_plan(graph)
+            stats.update(plan.summary())
 
         def run(*args):
-            outs = run_graph(graph, args)
+            outs = run_graph(graph, args, plan=plan)
             return outs[0] if len(outs) == 1 else tuple(outs)
 
         return Compiled(pipeline=self.name, fn=run, graph=graph,

@@ -9,9 +9,10 @@ against, and the executor its interpreters bottom out in.
 
 from . import creation, elementwise, inplace, linalg, reduction, shape_ops, views
 from .dtype import ALL_DTYPES, DType, bool_, float32, float64, int32, int64, promote
-from .profiler import (KernelEvent, Profile, PythonEvent, current_profile,
-                       profile, record_launch, record_python)
-from .storage import Storage
+from .profiler import (AllocEvent, KernelEvent, Profile, PythonEvent,
+                       current_profile, profile, record_alloc, record_free,
+                       record_launch, record_python)
+from .storage import MemoryPool, Storage, current_pool, pool_scope
 from .tensor import Scalar, Tensor, as_tensor
 
 # Creation

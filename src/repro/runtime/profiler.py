@@ -40,11 +40,28 @@ class PythonEvent:
 
 
 @dataclass
+class AllocEvent:
+    """One device-buffer lifecycle event.
+
+    ``kind`` is ``"alloc"`` (arena had to grow by ``nbytes``),
+    ``"reuse"`` (request served from a memory pool's free list — the
+    arena did not grow), or ``"free"`` (a buffer returned to a free
+    list).  The accounting models a no-shrink caching allocator, as on
+    a real GPU: ``peak_bytes`` is the arena high-water mark, which only
+    fresh allocations raise.
+    """
+
+    kind: str
+    nbytes: int = 0
+
+
+@dataclass
 class Profile:
     """Accumulated events for one profiled region."""
 
     events: List[KernelEvent] = field(default_factory=list)
     python_events: List[PythonEvent] = field(default_factory=list)
+    alloc_events: List[AllocEvent] = field(default_factory=list)
     enabled: bool = True
 
     @property
@@ -63,9 +80,42 @@ class Profile:
     def num_python_steps(self) -> int:
         return sum(e.count for e in self.python_events)
 
+    # -- allocation accounting (memory planner observability) ----------
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Fresh arena growth: bytes no free-list block could serve."""
+        return sum(e.nbytes for e in self.alloc_events if e.kind == "alloc")
+
+    @property
+    def bytes_reused(self) -> int:
+        """Bytes served from a pool free list instead of fresh arena."""
+        return sum(e.nbytes for e in self.alloc_events if e.kind == "reuse")
+
+    @property
+    def bytes_freed(self) -> int:
+        """Bytes returned to a pool free list (reclaimable, not shrunk)."""
+        return sum(e.nbytes for e in self.alloc_events if e.kind == "free")
+
+    @property
+    def peak_bytes(self) -> int:
+        """Arena high-water mark: a no-shrink caching allocator grows
+        only on fresh allocations, so the peak equals total fresh
+        bytes; reused requests never raise it."""
+        return self.bytes_allocated
+
+    @property
+    def num_allocs(self) -> int:
+        return sum(1 for e in self.alloc_events if e.kind == "alloc")
+
+    @property
+    def num_reuses(self) -> int:
+        return sum(1 for e in self.alloc_events if e.kind == "reuse")
+
     def clear(self) -> None:
         self.events.clear()
         self.python_events.clear()
+        self.alloc_events.clear()
 
 
 _stack: List[Profile] = []
@@ -98,3 +148,20 @@ def record_python(kind: str, count: int = 1) -> None:
     """Record host-side interpreter work (dispatch / graph-break cost)."""
     for prof in _stack:
         prof.python_events.append(PythonEvent(kind, count))
+
+
+def record_alloc(nbytes: int, reused: bool = False) -> None:
+    """Record one buffer allocation on every active profile.
+
+    ``reused=True`` means a memory pool served the request from its
+    free list, so the arena (and thus ``peak_bytes``) did not grow.
+    """
+    kind = "reuse" if reused else "alloc"
+    for prof in _stack:
+        prof.alloc_events.append(AllocEvent(kind, int(nbytes)))
+
+
+def record_free(nbytes: int) -> None:
+    """Record one buffer release into a pool free list."""
+    for prof in _stack:
+        prof.alloc_events.append(AllocEvent("free", int(nbytes)))

@@ -2,8 +2,10 @@
 
 ``python -m repro.tools.inspect lstm`` prints, per pipeline: an op
 histogram before/after, fusion-group sizes, horizontal loops, launch
-counts, and modeled latency — the report you reach for when a workload
-doesn't speed up as expected.
+counts, per-pass wall time / node deltas, memory-pool traffic, and
+modeled latency — the report you reach for when a workload doesn't
+speed up as expected.  ``--plan`` additionally prints the TensorSSA
+memory plan (slot table, reuse edges, rotating loop slots, peak).
 """
 
 from __future__ import annotations
@@ -54,12 +56,18 @@ def inspect_workload(name: str, platform: str = "datacenter",
                                           pipe.device_penalty),
             "host_us": plat.host_time_us(prof, pipe.host_profile),
             "device_us": plat.device_time_us(prof, pipe.device_penalty),
+            "peak_bytes": prof.peak_bytes,
+            "bytes_reused": prof.bytes_reused,
             "stats": {k: v for k, v in compiled.stats.items()
                       if isinstance(v, (int, bool))},
+            "pass_metrics": compiled.stats.get("pass_metrics", []),
         }
         if compiled.graph is not None:
             entry["ops"] = op_histogram(compiled.graph)
             entry["group_sizes"] = group_sizes(compiled.graph)
+            plan = getattr(compiled.graph, "_memplan", None)
+            if plan is not None:
+                entry["plan"] = plan
         report[pipe.name] = entry
     return report
 
@@ -69,7 +77,8 @@ def _fmt_hist(hist: Dict[str, int], top: int = 8) -> str:
     return ", ".join(f"{op.split('::')[-1]}x{n}" for op, n in items)
 
 
-def print_report(name: str, report: Dict[str, dict]) -> None:
+def print_report(name: str, report: Dict[str, dict],
+                 show_plan: bool = False) -> None:
     """Pretty-print an :func:`inspect_workload` report."""
     print(f"=== {name} ===")
     print(f"source ops: {_fmt_hist(report['__source__']['ops'])}")
@@ -80,23 +89,38 @@ def print_report(name: str, report: Dict[str, dict]) -> None:
               f"latency={entry['latency_us']:.1f}us "
               f"(host {entry['host_us']:.1f} / "
               f"device {entry['device_us']:.1f})")
+        print(f"  memory: peak={entry['peak_bytes']:,}B "
+              f"reused={entry['bytes_reused']:,}B")
         if "group_sizes" in entry and entry["group_sizes"]:
             print(f"  fusion groups: {entry['group_sizes']}")
         if "ops" in entry:
             print(f"  compiled ops: {_fmt_hist(entry['ops'])}")
+        if entry.get("pass_metrics"):
+            print("  passes:")
+            for m in entry["pass_metrics"]:
+                sign = "+" if m.node_delta >= 0 else ""
+                print(f"    {m.name:<16} {m.wall_ms:7.2f}ms  "
+                      f"{m.nodes_before:>4} -> {m.nodes_after:<4} nodes "
+                      f"({sign}{m.node_delta})")
         interesting = {k: v for k, v in entry["stats"].items()
                        if k in ("functionalized", "skipped_mutations",
-                                "horizontal_loops", "mutating_ops")}
+                                "horizontal_loops", "mutating_ops",
+                                "mem_slots", "mem_planned_classes",
+                                "mem_reuse_edges", "mem_rotating_loops")}
         if interesting:
             print(f"  {interesting}")
+        if show_plan and "plan" in entry:
+            from ..memplan import format_plan
+            print("  " + format_plan(entry["plan"]).replace("\n", "\n  "))
 
 
 def main(argv: Optional[List[str]] = None) -> None:
     """CLI entry point."""
     argv = argv if argv is not None else sys.argv[1:]
-    names = argv or ["lstm"]
+    show_plan = "--plan" in argv
+    names = [a for a in argv if not a.startswith("-")] or ["lstm"]
     for name in names:
-        print_report(name, inspect_workload(name))
+        print_report(name, inspect_workload(name), show_plan=show_plan)
         print()
 
 

@@ -55,6 +55,47 @@ class TestRunWorkload:
             run_workload("lstm", "nope")
 
 
+class TestCompileCache:
+    def test_second_run_hits_cache(self):
+        first = run_workload("lstm", "tensorssa", seq_len=8)
+        assert not first.cache_hit
+        second = run_workload("lstm", "tensorssa", seq_len=8)
+        assert second.cache_hit
+        assert second.cache_hits >= 1
+        assert second.cache_misses >= 1
+
+    def test_shape_change_recompiles(self):
+        run_workload("lstm", "tensorssa", seq_len=8)
+        other = run_workload("lstm", "tensorssa", seq_len=16)
+        # different sequence length -> different shape signature -> miss
+        assert not other.cache_hit
+
+    def test_lru_eviction_is_bounded(self):
+        from repro.eval.harness import _CompileCache
+        cache = _CompileCache(capacity=3)
+        for i in range(5):
+            cache.put(("p", "w", i), object())
+        assert len(cache) == 3
+        assert ("p", "w", 0) not in cache
+        assert ("p", "w", 4) in cache
+
+    def test_lru_order_refreshes_on_hit(self):
+        from repro.eval.harness import _CompileCache
+        cache = _CompileCache(capacity=2)
+        cache.put(("a",), object())
+        cache.put(("b",), object())
+        assert cache.get(("a",)) is not None  # refresh "a"
+        cache.put(("c",), object())           # evicts "b", not "a"
+        assert ("a",) in cache and ("b",) not in cache
+
+    def test_counters_reset_with_cache(self):
+        from repro.eval.harness import _compile_cache
+        run_workload("lstm", "tensorssa", seq_len=8)
+        assert _compile_cache.misses >= 1
+        clear_compile_cache()
+        assert _compile_cache.hits == 0 and _compile_cache.misses == 0
+
+
 class TestReport:
     def test_format_table(self):
         text = format_table("T", ["a", "b"], [[1.0, 2.5], [3.0, 4.0]],
