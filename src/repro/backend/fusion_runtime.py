@@ -81,8 +81,9 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
     body = node.blocks[0]
     kernel = node.attrs.get("kernel")
     if kernel is None:
+        from ..ir.graph import free_values
         kernel = compile_block(body, name="_hloop",
-                               extra_inputs=node.attrs.get("captures", ()))
+                               extra_inputs=free_values(body))
         node.attrs["kernel"] = kernel
 
     state = [_unwrap(c) for c in carried]

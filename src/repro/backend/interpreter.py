@@ -173,8 +173,9 @@ def _exec_node(node: Node, env: Env, ctx: Optional[_PlanCtx]) -> None:
         cond = bool(_read(env, node.input(1)))
         carried = [_read(env, v) for v in node.inputs[2:]]
         if node.attrs.get("horizontal"):
+            from ..ir.graph import free_values
             from .fusion_runtime import run_horizontal_loop
-            captures = [_read(env, v) for v in node.attrs["captures"]]
+            captures = [_read(env, v) for v in free_values(node.blocks[0])]
             results = run_horizontal_loop(node, max_trip, cond, carried,
                                           captures)
             for out, val in zip(node.outputs, results):

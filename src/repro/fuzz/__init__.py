@@ -1,0 +1,35 @@
+"""repro.fuzz — differential fuzzing of the compiler stack.
+
+Three cooperating pieces (mirroring the randomized-validation loops of
+torch.fx and TensorIR):
+
+* :mod:`generator` — a seeded random *imperative program* generator.
+  Programs are frontend-scriptable Python source over the runtime
+  tensor API: view chains, in-place mutation through views, ``if``/
+  ``for``/``while`` control flow, and compute ops drawn from the
+  operator registry's machine-readable :class:`~repro.ops.schema.
+  GenRule` metadata.
+* :mod:`oracle` — runs one program through eager and every registered
+  pipeline, demanding bit-exact outputs, intact input-mutation
+  semantics, structural graph invariants (including the mutation
+  conventions of :func:`repro.ir.verify_mutations`), printer/parser
+  round-trips, and profiler conservation laws.
+* :mod:`shrink` — delta-debugs a failing program to a minimal repro by
+  dropping statements, hoisting control-flow bodies, and cutting loop
+  trip counts while the failure keeps reproducing.
+
+``python -m repro.tools.fuzz`` drives the loop from the command line;
+minimized findings land in ``tests/corpus/`` as standing regression
+tests.
+"""
+
+from .generator import FuzzProgram, ProgramGenerator, Stmt, generate_program
+from .oracle import (FuzzFailure, OracleConfig, materialize, run_oracle,
+                     scripted_node_count)
+from .shrink import failure_predicate, shrink
+
+__all__ = [
+    "FuzzProgram", "ProgramGenerator", "Stmt", "generate_program",
+    "FuzzFailure", "OracleConfig", "materialize", "run_oracle",
+    "scripted_node_count", "failure_predicate", "shrink",
+]

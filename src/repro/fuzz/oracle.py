@@ -1,0 +1,274 @@
+"""Differential oracle: one program, every pipeline, bit-exact or bust.
+
+For a generated (or corpus) program the oracle:
+
+1. materializes the source and runs it *eagerly* — the reference
+   semantics — over several ``(flag, n)`` input variants that cover
+   both branch arms and zero-trip loops;
+2. compiles it through every requested pipeline (shape-specializing
+   pipelines recompile per variant, mirroring the harness's cache key)
+   and demands **bit-exact** outputs — all pipelines bottom out in the
+   same numpy kernels, so even fused/planned execution must agree to
+   the last ulp;
+3. re-checks caller-visible *input mutation semantics* (a program that
+   only mutates its internal clone must leave ``x`` untouched in every
+   pipeline);
+4. verifies the compiled graph structurally (:func:`repro.ir.verify`),
+   checks the TensorSSA mutation conventions
+   (:func:`repro.ir.verify_mutations`) on functionalized graphs, and
+   optionally demands the printer/parser round-trip be a fixed point;
+5. asserts profiler conservation laws — a memory pool may only reuse
+   bytes that were previously released (``bytes_reused <=
+   bytes_freed``), and the arena peak equals fresh growth.
+
+Any violation is returned as a :class:`FuzzFailure` (never raised), so
+the driving loop can hand it straight to the shrinker.
+"""
+
+from __future__ import annotations
+
+import itertools
+import linecache
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.runtime as rt
+from ..frontend import script
+from ..frontend.errors import ScriptError
+from ..ir import parse_graph, print_graph, verify, verify_mutations
+from ..ir.verifier import VerificationError
+from ..pipelines import registry as pipeline_registry
+from ..pipelines.base import Pipeline
+from .generator import FuzzProgram, make_inputs
+
+__all__ = ["CorpusProgram", "FuzzFailure", "OracleConfig",
+           "all_pipeline_names", "materialize", "run_oracle",
+           "scripted_node_count"]
+
+_materialize_counter = itertools.count()
+
+
+def all_pipeline_names() -> List[str]:
+    """Every registered pipeline, ablations included."""
+    names = [p.name for p in pipeline_registry.default_pipelines()]
+    names += [p.name for p in pipeline_registry.extra_pipelines()
+              if p.name not in names]
+    return names
+
+
+def materialize(source: str, name: str = "f") -> Callable:
+    """Compile program source into a callable whose source stays
+    fetchable (``linecache``-registered) for the scripting frontend."""
+    filename = f"<fuzz_prog_{next(_materialize_counter)}>"
+    linecache.cache[filename] = (len(source), None,
+                                 source.splitlines(True), filename)
+    namespace = {"rt": rt}
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+    return namespace[name]
+
+
+def scripted_node_count(program: FuzzProgram) -> int:
+    """IR size of the program as captured by the frontend."""
+    graph = script(materialize(program.source, program.name)).graph
+    return sum(1 for _ in graph.walk())
+
+
+@dataclass
+class CorpusProgram:
+    """A program restored from saved source (a ``tests/corpus/`` entry)
+    rather than a generator statement tree.  Anything with ``seed``,
+    ``source`` and ``name`` satisfies the oracle's program protocol."""
+
+    seed: int
+    source: str
+    name: str = "f"
+
+
+@dataclass
+class OracleConfig:
+    """What to check and against which pipelines."""
+
+    #: pipeline names or ready :class:`Pipeline` instances (instances
+    #: let tests inject deliberately-broken pipelines); None: all
+    pipelines: Optional[Sequence] = None
+    check_graph: bool = True
+    check_roundtrip: bool = True
+    #: (flag, n) input variants; None uses the generator's defaults
+    variants: Optional[Sequence[Tuple[bool, int]]] = None
+
+
+@dataclass
+class FuzzFailure:
+    """One divergence between a pipeline and eager semantics."""
+
+    program: FuzzProgram
+    pipeline: str
+    kind: str       # compile-error | runtime-error | output-mismatch |
+                    # input-mutation | graph-invariant | roundtrip |
+                    # profile-invariant
+    detail: str
+    variant: Optional[Tuple[bool, int]] = None
+    ir: str = field(default="", repr=False)
+
+    def describe(self) -> str:
+        head = (f"[{self.pipeline}] {self.kind}"
+                + (f" at (flag, n)={self.variant}" if self.variant else ""))
+        parts = [head, self.detail.rstrip(),
+                 "--- program ---", self.program.source.rstrip()]
+        if self.ir:
+            parts += ["--- compiled IR ---", self.ir.rstrip()]
+        return "\n".join(parts)
+
+
+def _to_numpy(value):
+    if isinstance(value, rt.Tensor):
+        return value.numpy()
+    return np.asarray(value)
+
+
+def _bit_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    if np.issubdtype(a.dtype, np.floating):
+        return bool(np.array_equal(a, b, equal_nan=True))
+    return bool(np.array_equal(a, b))
+
+
+def _diff_outputs(expected, got) -> Optional[str]:
+    exp = expected if isinstance(expected, tuple) else (expected,)
+    act = got if isinstance(got, tuple) else (got,)
+    if len(exp) != len(act):
+        return f"arity: expected {len(exp)} outputs, got {len(act)}"
+    for i, (e, g) in enumerate(zip(exp, act)):
+        ea, ga = _to_numpy(e), _to_numpy(g)
+        if ea.shape != ga.shape:
+            return f"output {i}: shape {ea.shape} != {ga.shape}"
+        if ea.dtype != ga.dtype:
+            return f"output {i}: dtype {ea.dtype} != {ga.dtype}"
+        if not _bit_equal(ea, ga):
+            with np.errstate(invalid="ignore"):
+                delta = np.nanmax(np.abs(ea.astype(np.float64)
+                                         - ga.astype(np.float64))) \
+                    if np.issubdtype(ea.dtype, np.floating) else "n/a"
+            return (f"output {i}: values diverge (max |delta| = {delta})\n"
+                    f"expected:\n{ea}\ngot:\n{ga}")
+    return None
+
+
+def _check_graph(compiled, program: FuzzProgram,
+                 config: OracleConfig) -> Optional[FuzzFailure]:
+    graph = compiled.graph
+    if graph is None:
+        return None
+    ir_text = print_graph(graph)
+    try:
+        verify(graph)
+        # Mutation conventions only bind once a pipeline claims to have
+        # functionalized the program; graphs with deliberately-skipped
+        # mutations keep imperative read-after-write semantics.
+        if "functionalized" in compiled.stats:
+            strict = compiled.stats.get("skipped_mutations", 0) == 0
+            verify_mutations(graph, strict=strict)
+    except VerificationError as exc:
+        return FuzzFailure(program, compiled.pipeline, "graph-invariant",
+                           str(exc), ir=ir_text)
+    if config.check_roundtrip:
+        try:
+            reprinted = print_graph(parse_graph(ir_text))
+        except Exception as exc:  # parse errors are findings, not crashes
+            return FuzzFailure(program, compiled.pipeline, "roundtrip",
+                               f"parse failed: {exc}", ir=ir_text)
+        if reprinted != ir_text:
+            return FuzzFailure(program, compiled.pipeline, "roundtrip",
+                               "print -> parse -> print is not a fixed "
+                               f"point\nreprinted:\n{reprinted}",
+                               ir=ir_text)
+    return None
+
+
+def _check_profile(prof) -> Optional[str]:
+    if prof.bytes_reused > prof.bytes_freed:
+        return (f"pool reused {prof.bytes_reused}B but only "
+                f"{prof.bytes_freed}B were ever freed")
+    if prof.peak_bytes != prof.bytes_allocated:
+        return (f"arena peak {prof.peak_bytes}B != fresh growth "
+                f"{prof.bytes_allocated}B")
+    return None
+
+
+def _pipeline_instances(config: OracleConfig) -> List[Pipeline]:
+    names = config.pipelines or all_pipeline_names()
+    return [pipeline_registry.get_pipeline(n) if isinstance(n, str) else n
+            for n in names]
+
+
+def run_oracle(program: FuzzProgram,
+               config: Optional[OracleConfig] = None
+               ) -> Optional[FuzzFailure]:
+    """Run the full oracle stack; the first violation found, or None."""
+    config = config or OracleConfig()
+    x_data, default_variants = make_inputs(program.seed)
+    variants = list(config.variants or default_variants)
+
+    try:
+        fn = materialize(program.source, program.name)
+    except SyntaxError as exc:
+        return FuzzFailure(program, "<generator>", "compile-error",
+                           f"generated source does not parse: {exc}")
+
+    # -- eager reference ------------------------------------------------
+    reference = []
+    for flag, n in variants:
+        x = rt.from_numpy(x_data)
+        try:
+            expected = fn(x, flag, n)
+        except Exception as exc:
+            return FuzzFailure(program, "eager-reference", "runtime-error",
+                               f"{type(exc).__name__}: {exc}",
+                               variant=(flag, n))
+        reference.append((expected, x.numpy()))
+
+    for pipe in _pipeline_instances(config):
+        compiled = None
+        for (flag, n), (expected, x_after) in zip(variants, reference):
+            x = rt.from_numpy(x_data)
+            if compiled is None or pipe.needs_example_inputs:
+                try:
+                    compiled = pipe.compile(
+                        fn, example_args=(rt.from_numpy(x_data), flag, n))
+                except (ScriptError, Exception) as exc:
+                    return FuzzFailure(
+                        program, pipe.name, "compile-error",
+                        f"{type(exc).__name__}: {exc}", variant=(flag, n))
+                if config.check_graph:
+                    failure = _check_graph(compiled, program, config)
+                    if failure is not None:
+                        failure.variant = (flag, n)
+                        return failure
+            ir_text = print_graph(compiled.graph) if compiled.graph \
+                else ""
+            try:
+                with rt.profile() as prof:
+                    got = compiled(x, flag, n)
+            except Exception as exc:
+                return FuzzFailure(program, pipe.name, "runtime-error",
+                                   f"{type(exc).__name__}: {exc}",
+                                   variant=(flag, n), ir=ir_text)
+            mismatch = _diff_outputs(expected, got)
+            if mismatch is not None:
+                return FuzzFailure(program, pipe.name, "output-mismatch",
+                                   mismatch, variant=(flag, n), ir=ir_text)
+            if not _bit_equal(x.numpy(), x_after):
+                return FuzzFailure(
+                    program, pipe.name, "input-mutation",
+                    f"input x state diverged from eager\n"
+                    f"eager:\n{x_after}\npipeline:\n{x.numpy()}",
+                    variant=(flag, n), ir=ir_text)
+            profile_issue = _check_profile(prof)
+            if profile_issue is not None:
+                return FuzzFailure(program, pipe.name, "profile-invariant",
+                                   profile_issue, variant=(flag, n),
+                                   ir=ir_text)
+    return None

@@ -1,0 +1,172 @@
+"""Delta-debugging shrinker for failing fuzz programs.
+
+Given a program and a *predicate* ("does the failure still reproduce?"),
+the shrinker greedily applies three semantics-shrinking rewrites until a
+fixed point:
+
+1. **statement removal** — delete any one :class:`~.generator.Stmt`
+   (a whole ``if``/``for``/``while`` subtree counts as one statement;
+   while-loop counter scaffolding lives in ``fixed_pre``/``fixed_head``
+   and travels with its loop, so removal can never leave an
+   unterminated loop behind);
+2. **body hoisting** — replace a compound statement with the contents
+   of its then-body or its else-body, deleting the branch or loop
+   around them;
+3. **trip-count reduction** — rewrite ``range(k)`` / ``while j < k``
+   bounds downward (data-dependent ``range(n)`` collapses to
+   ``range(1)``).
+
+Every candidate is a fresh clone; a rewrite survives only if the
+predicate still holds on it, so the result provably reproduces the
+original failure (the *monotonicity* property `tests/test_fuzz.py`
+asserts).  Candidates that break scoping (hoisting a body that used the
+loop variable) simply fail the predicate — eager execution raises, the
+oracle reports a different failure — and are discarded, which keeps the
+rewrites themselves trivially simple.
+
+Programs are a few dozen statements, so the greedy O(n²) loop is far
+cheaper than one oracle evaluation; no ddmin cleverness needed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Optional, Tuple
+
+from .generator import FuzzProgram, Stmt
+from .oracle import FuzzFailure, OracleConfig, run_oracle
+
+__all__ = ["failure_predicate", "shrink"]
+
+_RANGE_RE = re.compile(r"range\((\d+|n)\)")
+_WHILE_RE = re.compile(r"^(while \w+ < )(\d+)(:)$")
+
+
+def failure_predicate(failure: FuzzFailure,
+                      config: Optional[OracleConfig] = None
+                      ) -> Callable[[FuzzProgram], bool]:
+    """Predicate for :func:`shrink`: the *same kind* of failure on the
+    *same pipeline* still reproduces (checking only that pipeline keeps
+    shrinking cheap)."""
+    base = config or OracleConfig()
+    if failure.pipeline in ("eager-reference", "<generator>"):
+        pipelines = base.pipelines
+    else:
+        # keep any matching pipeline *instance* from the config (tests
+        # inject unregistered, deliberately-broken pipelines); fall back
+        # to resolving the name through the registry
+        instances = [p for p in (base.pipelines or ())
+                     if not isinstance(p, str)
+                     and getattr(p, "name", None) == failure.pipeline]
+        pipelines = instances or [failure.pipeline]
+    cfg = OracleConfig(pipelines=pipelines,
+                       check_graph=base.check_graph,
+                       check_roundtrip=base.check_roundtrip,
+                       variants=base.variants)
+
+    # for error kinds, pin the exception type too: otherwise dropping a
+    # definition but not its use "reproduces" any runtime error as a
+    # shrinker-made NameError
+    error_type = failure.detail.split(":", 1)[0] \
+        if failure.kind in ("runtime-error", "compile-error") else None
+
+    def predicate(program: FuzzProgram) -> bool:
+        got = run_oracle(program, cfg)
+        if got is None or got.kind != failure.kind \
+                or got.pipeline != failure.pipeline:
+            return False
+        return error_type is None or \
+            got.detail.split(":", 1)[0] == error_type
+
+    return predicate
+
+
+def _resolve(program: FuzzProgram,
+             path: Tuple) -> Tuple[List[Stmt], int]:
+    """The (container-list, index) a walk path points at."""
+    container: List[Stmt] = program.stmts
+    stmt: Optional[Stmt] = None
+    for kind, idx in path:
+        if kind == "top":
+            container = program.stmts
+        elif kind == "body":
+            assert stmt is not None
+            container = stmt.body
+        else:
+            assert stmt is not None
+            container = stmt.orelse
+        stmt = container[idx]
+    return container, path[-1][1]
+
+
+def _candidates(program: FuzzProgram):
+    """Yield (description, candidate) programs one rewrite away."""
+    for path, stmt in program.walk():
+        # 1. drop the statement (subtree and all)
+        cand = program.clone()
+        container, idx = _resolve(cand, path)
+        del container[idx]
+        yield f"drop {stmt.line!r}", cand
+
+        if stmt.is_compound:
+            # 2. hoist the then-body / else-body over the construct
+            for attr in ("body", "orelse"):
+                inner = getattr(stmt, attr)
+                if not inner:
+                    continue
+                cand = program.clone()
+                container, idx = _resolve(cand, path)
+                hoisted = getattr(container[idx], attr)
+                container[idx:idx + 1] = hoisted
+                yield f"hoist {attr} of {stmt.line!r}", cand
+
+            # 3. cut the trip count
+            line = stmt.line
+            m = _WHILE_RE.match(line)
+            if m and int(m.group(2)) > 1:
+                new_line = f"{m.group(1)}{int(m.group(2)) - 1}{m.group(3)}"
+            else:
+                rm = _RANGE_RE.search(line)
+                if rm is None:
+                    continue
+                bound = rm.group(1)
+                if bound == "n":
+                    new_line = line.replace("range(n)", "range(1)", 1)
+                elif int(bound) > 1:
+                    new_line = line.replace(f"range({bound})",
+                                            f"range({int(bound) - 1})", 1)
+                else:
+                    continue
+            cand = program.clone()
+            container, idx = _resolve(cand, path)
+            container[idx].line = new_line
+            yield f"cut trips: {line!r} -> {new_line!r}", cand
+
+
+def shrink(program: FuzzProgram,
+           predicate: Callable[[FuzzProgram], bool],
+           max_steps: int = 2000,
+           log: Optional[Callable[[str], None]] = None) -> FuzzProgram:
+    """Smallest program (greedy fixed point) on which ``predicate``
+    still holds.  ``predicate(program)`` must be True on entry —
+    otherwise there is nothing to preserve and the input is returned
+    unchanged."""
+    if not predicate(program):
+        return program
+    current = program
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for desc, cand in _candidates(current):
+            steps += 1
+            if steps >= max_steps:
+                break
+            if predicate(cand):
+                if log is not None:
+                    log(f"shrink: {desc} "
+                        f"({cand.num_statements()} stmts left)")
+                current = cand
+                improved = True
+                break  # restart candidate enumeration on the new program
+    return current

@@ -5,8 +5,8 @@ from .clone import clone_graph
 from .graph import Block, Graph, Node, Use, Value, bulk_destroy
 from .parser import IRParseError, parse_graph
 from .printer import print_block, print_graph
-from .verifier import VerificationError, verify
+from .verifier import VerificationError, verify, verify_mutations
 
 __all__ = ["types", "Graph", "Block", "Node", "Value", "Use", "bulk_destroy", "parse_graph", "IRParseError",
            "print_graph", "print_block", "verify", "VerificationError",
-           "clone_graph"]
+           "verify_mutations", "clone_graph"]

@@ -25,13 +25,14 @@ Conventions
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
 
 from ..ops import registry
 from ..ops.schema import OpKind, OpSchema
 from . import types as T
 
-__all__ = ["Graph", "Block", "Node", "Value", "Use", "bulk_destroy"]
+__all__ = ["Graph", "Block", "Node", "Value", "Use", "bulk_destroy",
+           "free_values"]
 
 
 class Use:
@@ -274,6 +275,14 @@ class Block:
         node.owning_block = None
 
     def _destroy_contents(self) -> None:
+        # Drop the return-slot use records first: returns may reference
+        # values defined in *outer* scopes (an untaken If branch
+        # returning a parent value), and those outlive this block.
+        for i, r in enumerate(self.returns):
+            for use in list(r.uses):
+                if use.user is self and use.index == i:
+                    r.uses.remove(use)
+        self.returns.clear()
         for node in list(reversed(self.nodes)):
             for out in node.outputs:
                 out.uses.clear()
@@ -305,6 +314,34 @@ class Block:
         return (f"Block(params={[p.name for p in self.params]}, "
                 f"nodes={len(self.nodes)}, "
                 f"returns={[r.name for r in self.returns]})")
+
+
+def free_values(block: "Block") -> List["Value"]:
+    """Values the block references but does not define, in first-use
+    order.  Derived on demand wherever horizontal-loop captures are
+    needed (compilation, interpretation, liveness, revert protection):
+    a snapshot stored in ``attrs`` would go stale as soon as a later
+    pass rewrote a captured value (fusion, CSE) or the graph was cloned.
+    """
+    local = {id(p) for p in block.params}
+    for node in block.nodes:
+        for out in node.outputs:
+            local.add(id(out))
+    free: List[Value] = []
+    seen: Set[int] = set()
+
+    def visit(v: Value) -> None:
+        if id(v) in local or id(v) in seen:
+            return
+        seen.add(id(v))
+        free.append(v)
+
+    for node in block.nodes:
+        for v in node.inputs:
+            visit(v)
+    for r in block.returns:
+        visit(r)
+    return free
 
 
 def bulk_destroy(nodes: Sequence["Node"]) -> None:

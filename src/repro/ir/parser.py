@@ -174,12 +174,16 @@ class _Parser:
             try:
                 node.attrs["value"] = pyast.literal_eval(payload_text)
             except (SyntaxError, ValueError):
-                dtype_match = re.match(r"repro\.(\w+)$",
-                                       payload_text.strip())
+                stripped = payload_text.strip()
+                dtype_match = re.match(r"repro\.(\w+)$", stripped)
                 if dtype_match:
                     from ..runtime.dtype import DType
                     node.attrs["value"] = DType._registry[
                         dtype_match.group(1)]
+                elif stripped in ("inf", "-inf", "nan"):
+                    # repr() of non-finite floats is not a Python
+                    # literal, so literal_eval refuses them
+                    node.attrs["value"] = float(stripped)
                 else:
                     raise IRParseError(
                         f"unsupported constant payload: {payload_text!r}"

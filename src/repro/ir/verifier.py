@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Set
 
+from ..ops import registry as ops
+from ..ops.schema import OpKind
 from .graph import Block, Graph, Node, Value
 
 
@@ -126,4 +128,85 @@ def _verify_conventions(node: Node) -> None:
 def verify(graph: Graph) -> Graph:
     """Check structural invariants; returns the graph for chaining."""
     _verify_block(graph.block, set())
+    return graph
+
+
+# -- mutation conventions --------------------------------------------------
+
+def _alias_root(value: Value) -> Value:
+    """Storage owner of ``value``: input 0 followed through VIEW and
+    MUTATING producers (both alias their first operand)."""
+    seen = set()
+    while value.node is not None and id(value) not in seen:
+        seen.add(id(value))
+        node = value.node
+        if not ops.has(node.op):
+            break
+        if node.kind in (OpKind.VIEW, OpKind.MUTATING) and node.inputs:
+            value = node.input(0)
+        else:
+            break
+    return value
+
+
+def _locally_owned(root: Value, mutation: Node) -> bool:
+    """Revert discipline (passes/revert.py): a reintroduced mutation may
+    only write a buffer owned by a PURE node (or a FusionGroup) in the
+    mutation's own block — storage whose every other reader was proven
+    to run earlier, so the side effect cannot escape."""
+    node = root.node
+    if node is None or node.op == "prim::Constant":
+        return False
+    if node.kind is OpKind.CONTROL and node.op != "prim::FusionGroup":
+        return False  # If/Loop outputs alias values we have not analyzed
+    if node.kind not in (OpKind.PURE, OpKind.CONTROL):
+        return False
+    return root.defining_block() is mutation.owning_block
+
+
+def verify_mutations(graph: Graph, strict: bool = False) -> Graph:
+    """Check the TensorSSA mutation conventions on an executable graph.
+
+    Always enforced:
+
+    * ``tssa::update`` annotations must not survive to execution — the
+      interpreter has no semantics for them;
+    * no ``immut::`` op may alias or write its input: the whole point
+      of the Access/Assign operator sets (paper §3.2) is that they are
+      pure, so a registry/pass regression demoting one to VIEW or
+      MUTATING is a conventions break;
+    * a MUTATING op must never write through to a ``prim::Constant``
+      buffer (folded constants are shared across the graph).
+
+    With ``strict=True`` — appropriate once a pipeline reports full
+    functionalization (``skipped_mutations == 0``) — every surviving
+    MUTATING op must be one the revert pass could have introduced: its
+    alias root is a locally-owned buffer (see :func:`_locally_owned`).
+    Mutations of graph inputs, block params, loop-carried values, or
+    buffers from an enclosing block have no business in a graph that
+    claims to be fully functionalized.
+    """
+    for node in graph.walk():
+        if node.op == "tssa::update":
+            _fail("tssa::update survived to an executable graph; run the "
+                  "rename/cleanup step of the TensorSSA conversion")
+        if node.op.startswith("immut::"):
+            if not ops.has(node.op):
+                _fail(f"unregistered immut:: op {node.op}")
+            if node.kind in (OpKind.VIEW, OpKind.MUTATING):
+                _fail(f"{node.op} is registered as {node.kind.value}: "
+                      f"immut:: ops must be pure (no aliasing, no writes)")
+        if ops.has(node.op) and node.kind is OpKind.MUTATING:
+            if not node.inputs:
+                _fail(f"mutating op {node.op} with no write target")
+            root = _alias_root(node.input(0))
+            if root.node is not None and root.node.op == "prim::Constant":
+                _fail(f"{node.op} writes through %{node.input(0).name} "
+                      f"into constant %{root.name}")
+            if strict and not _locally_owned(root, node):
+                _fail(f"{node.op} on %{node.input(0).name} mutates "
+                      f"%{root.name}, which is not a locally-owned "
+                      f"buffer: a fully functionalized graph may only "
+                      f"keep revert-style mutations of single-consumer "
+                      f"pure outputs in the same block")
     return graph

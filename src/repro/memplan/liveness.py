@@ -137,11 +137,14 @@ def _ancestor_at(block_or_node, home: Block) -> Optional[Node]:
 
 
 def _capture_uses(graph: Graph) -> Dict[int, List[Node]]:
-    """id(value) -> loop nodes reading it via ``attrs['captures']``
-    (horizontal loops consult captures outside the use lists)."""
+    """id(value) -> horizontal loop nodes reading it as a body capture
+    (those reads happen outside the use lists)."""
+    from ..ir.graph import free_values
     out: Dict[int, List[Node]] = {}
     for node in graph.walk():
-        for v in node.attrs.get("captures", ()) or ():
+        if not node.attrs.get("horizontal") or not node.blocks:
+            continue
+        for v in free_values(node.blocks[0]):
             out.setdefault(id(v), []).append(node)
     return out
 

@@ -16,7 +16,7 @@ from typing import Dict, Iterable
 from ..runtime import (creation, elementwise, inplace, linalg, reduction,
                        shape_ops, views)
 from . import immut
-from .schema import OpKind, OpSchema
+from .schema import GenRule, OpKind, OpSchema
 
 REGISTRY: Dict[str, OpSchema] = {}
 
@@ -48,9 +48,10 @@ def all_ops() -> Iterable[OpSchema]:
     return REGISTRY.values()
 
 
-def _pure(name, fn, fusable=False, num_outputs=1, result_types=("Tensor",)):
+def _pure(name, fn, fusable=False, num_outputs=1, result_types=("Tensor",),
+          gen=None):
     register(OpSchema(name, OpKind.PURE, fn, num_outputs=num_outputs,
-                      fusable=fusable, result_types=result_types))
+                      fusable=fusable, result_types=result_types, gen=gen))
 
 
 def _view(name, fn, access_op, assign_op):
@@ -58,8 +59,44 @@ def _view(name, fn, access_op, assign_op):
                       assign_op=assign_op))
 
 
-def _mutating(name, fn, functional_op):
-    register(OpSchema(name, OpKind.MUTATING, fn, functional_op=functional_op))
+def _mutating(name, fn, functional_op, gen=None):
+    register(OpSchema(name, OpKind.MUTATING, fn, functional_op=functional_op,
+                      gen=gen))
+
+
+# ---------------------------------------------------------------------------
+# Fuzzer synthesis rules (consumed by repro.fuzz.generator).  Only ops
+# whose random application is numerically stable under *bit-exact*
+# differential comparison get a rule: no log/sqrt on unconstrained
+# operands, and division only by scalars bounded away from zero.
+# ---------------------------------------------------------------------------
+
+_EW_BINARY = GenRule("elementwise", arity=2, scalar_ok=True)
+_EW_UNARY = GenRule("elementwise", arity=1)
+_GEN_PURE = {
+    "add": _EW_BINARY, "sub": _EW_BINARY, "mul": _EW_BINARY,
+    "maximum": _EW_BINARY, "minimum": _EW_BINARY,
+    "div": GenRule("elementwise", arity=2, scalar_ok=True,
+                   tensor_tensor=False, scalar_range=(0.5, 2.0)),
+    "neg": _EW_UNARY, "abs": _EW_UNARY, "sigmoid": _EW_UNARY,
+    "tanh": _EW_UNARY, "relu": _EW_UNARY, "floor": _EW_UNARY,
+    "ceil": _EW_UNARY,
+    "clamp": GenRule("elementwise", arity=1, scalar_args=2),
+}
+_MUT_BINARY = GenRule("mutating", arity=2, scalar_ok=True)
+_MUT_UNARY = GenRule("mutating", arity=1)
+_GEN_MUTATING = {
+    "add_": _MUT_BINARY, "sub_": _MUT_BINARY, "mul_": _MUT_BINARY,
+    "maximum_": _MUT_BINARY, "minimum_": _MUT_BINARY,
+    "div_": GenRule("mutating", arity=2, scalar_ok=True,
+                    tensor_tensor=False, scalar_range=(0.5, 2.0)),
+    "neg_": _MUT_UNARY, "sigmoid_": _MUT_UNARY, "tanh_": _MUT_UNARY,
+    "relu_": _MUT_UNARY, "zero_": _MUT_UNARY,
+    "fill_": GenRule("mutating", arity=1, scalar_args=1),
+    "clamp_": GenRule("mutating", arity=1, scalar_args=2),
+}
+_GEN_REDUCE = {"sum": GenRule("reduction"), "mean": GenRule("reduction"),
+               "max": GenRule("reduction"), "min": GenRule("reduction")}
 
 
 # ---------------------------------------------------------------------------
@@ -85,7 +122,7 @@ for _n, _f in [
     ("logical_not", elementwise.logical_not),
     ("masked_fill", shape_ops.masked_fill),
 ]:
-    _pure(f"aten::{_n}", _f, fusable=True)
+    _pure(f"aten::{_n}", _f, fusable=True, gen=_GEN_PURE.get(_n))
 
 _pure("aten::to", elementwise.to, fusable=True)
 
@@ -112,7 +149,7 @@ for _n, _f in [
     ("zeros", creation.zeros), ("ones", creation.ones),
     ("full", creation.full), ("arange", creation.arange),
 ]:
-    _pure(f"aten::{_n}", _f)
+    _pure(f"aten::{_n}", _f, gen=_GEN_REDUCE.get(_n))
 
 # like-fills are elementwise writes: fusable (NNC folds constant fills)
 for _n, _f in [("zeros_like", creation.zeros_like),
@@ -189,7 +226,7 @@ for _n, _f, _fop in [
     ("index_put_", inplace.index_put_, "aten::index_put"),
     ("index_fill_", inplace.index_fill_, "aten::index_fill"),
 ]:
-    _mutating(f"aten::{_n}", _f, _fop)
+    _mutating(f"aten::{_n}", _f, _fop, gen=_GEN_MUTATING.get(_n))
 
 # ---------------------------------------------------------------------------
 # immut:: Access / Assign (paper §3.2) — all pure and fusable

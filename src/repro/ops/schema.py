@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 
 class OpKind(enum.Enum):
@@ -29,6 +29,35 @@ class OpKind(enum.Enum):
     CONTROL = "control"    # prim::If / prim::Loop / fusion groups
     CONTAINER = "container"  # list/tuple construct & access
     ANNOTATION = "annotation"  # tssa::update — no computation semantics
+
+
+@dataclass(frozen=True)
+class GenRule:
+    """Machine-readable synthesis metadata for the differential fuzzer.
+
+    Describes how :mod:`repro.fuzz.generator` may emit a random call to
+    this op in frontend source: how many tensor operands it takes, their
+    shape relationship, and which operand positions accept (or require)
+    Python scalars.  Ops without a rule are never generated.
+    """
+
+    #: operand/shape class:
+    #: ``"elementwise"`` — all tensor operands share one shape;
+    #: ``"mutating"``    — writes through operand 0, others match it;
+    #: ``"reduction"``   — one tensor in, 0-d tensor out.
+    kind: str
+    #: number of tensor operands (the method receiver included)
+    arity: int = 1
+    #: the trailing tensor operand may instead be a Python scalar
+    scalar_ok: bool = False
+    #: tensor-tensor form is allowed (False: scalar operand only, e.g.
+    #: div, where a random divisor tensor risks near-zero entries)
+    tensor_tensor: bool = True
+    #: trailing *required* scalar arguments (clamp bounds, fill value)
+    scalar_args: int = 0
+    #: |scalar| is drawn from this closed range (keeps div/pow away from
+    #: poles so both sides of the differential test stay finite-stable)
+    scalar_range: Tuple[float, float] = (0.0, 2.0)
 
 
 @dataclass
@@ -54,6 +83,13 @@ class OpSchema:
     functional_op: Optional[str] = None
     #: output type constructors; see repro.ir.types.infer_types
     result_types: Sequence[str] = field(default_factory=lambda: ("Tensor",))
+    #: random-program synthesis rule (None: the fuzzer never emits it)
+    gen: Optional[GenRule] = None
+
+    @property
+    def method(self) -> str:
+        """The frontend method spelling (``aten::add_`` -> ``add_``)."""
+        return self.name.split("::", 1)[1]
 
     @property
     def is_view(self) -> bool:

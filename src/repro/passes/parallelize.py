@@ -4,9 +4,9 @@ Once TensorSSA functionalization has made a loop body pure, and that
 body consists entirely of kernel-compilable ops, the whole loop can run
 as a single mapped kernel: iterations no longer dispatch through the
 interpreter, and (on real hardware) independent iterations execute in
-parallel.  This pass marks such loops ``horizontal`` and records the
-free values their bodies capture; the fusion runtime executes them in
-one launch.
+parallel.  This pass marks such loops ``horizontal``; the fusion
+runtime executes them in one launch, deriving the captured free values
+from the body on demand (:func:`repro.ir.graph.free_values`).
 
 Must run *after* TensorSSA conversion (a body containing mutation is
 never eligible) and *before* vertical fusion (so the loop body is still
@@ -15,33 +15,8 @@ raw ops, not an opaque group).
 
 from __future__ import annotations
 
-from typing import List
-
 from ..backend.kernels import OP_IMPLS
-from ..ir.graph import Block, Graph, Node, Value
-
-
-def _body_free_values(body: Block) -> List[Value]:
-    """Values referenced by the body that are defined outside it."""
-    local = {id(p) for p in body.params}
-    for node in body.nodes:
-        for out in node.outputs:
-            local.add(id(out))
-    free: List[Value] = []
-    seen = set()
-
-    def visit(v: Value) -> None:
-        if id(v) in local or id(v) in seen:
-            return
-        seen.add(id(v))
-        free.append(v)
-
-    for node in body.nodes:
-        for v in node.inputs:
-            visit(v)
-    for r in body.returns:
-        visit(r)
-    return free
+from ..ir.graph import Block, Graph
 
 
 def _is_compilable_body(body: Block) -> bool:
@@ -67,8 +42,10 @@ def _mark_block(block: Block) -> int:
         body = node.blocks[0]
         if not _is_compilable_body(body):
             continue
+        # captures are NOT snapshotted here: every consumer derives
+        # them from the body via ir.graph.free_values, so later passes
+        # may freely rewrite captured values without desynchronizing
         node.attrs["horizontal"] = True
-        node.attrs["captures"] = _body_free_values(body)
         count += 1
     return count
 

@@ -38,11 +38,14 @@ _ASSIGN_TO_VIEW = {
 
 
 def _protected_values(graph: Graph) -> set:
-    """Values referenced from node attrs (horizontal-loop captures):
+    """Values horizontal loops capture from their bodies' free values:
     their producers must stay alive under their original identity."""
+    from ..ir.graph import free_values
     protected = set()
     for node in graph.walk():
-        for v in node.attrs.get("captures", ()) or ():
+        if not node.attrs.get("horizontal") or not node.blocks:
+            continue
+        for v in free_values(node.blocks[0]):
             protected.add(id(v))
     return protected
 

@@ -155,6 +155,8 @@ def _attach_tensor_methods() -> None:
         "tanh_": inplace.tanh_,
         "relu_": inplace.relu_,
         "clamp_": inplace.clamp_,
+        "maximum_": inplace.maximum_,
+        "minimum_": inplace.minimum_,
         "masked_fill_": inplace.masked_fill_,
         "masked_scatter_": inplace.masked_scatter_,
         "index_put_": inplace.index_put_,
