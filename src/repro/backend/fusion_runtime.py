@@ -16,7 +16,8 @@ released just before the launch, serve the outputs).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import threading
+from typing import Callable, List, Sequence
 
 import numpy as np
 
@@ -24,6 +25,24 @@ from ..ir.graph import Node
 from ..runtime import profiler
 from ..runtime.tensor import Tensor
 from .codegen import compile_block
+
+#: Guards lazy per-node kernel compilation: compiled graphs are shared
+#: by concurrent serving workers, and without the lock two threads that
+#: both observe ``attrs["kernel"] is None`` would compile the block
+#: twice (wasted work, and a torn read of partially-populated attrs).
+_kernel_lock = threading.Lock()
+
+
+def _node_kernel(node: Node, build: Callable[[], object]) -> object:
+    """The node's cached kernel, compiling once under the lock."""
+    kernel = node.attrs.get("kernel")
+    if kernel is None:
+        with _kernel_lock:
+            kernel = node.attrs.get("kernel")
+            if kernel is None:
+                kernel = build()
+                node.attrs["kernel"] = kernel
+    return kernel
 
 
 def _unwrap(x):
@@ -52,10 +71,8 @@ def _io_bytes(values) -> int:
 
 def execute_group(node: Node, inputs: Sequence[object]) -> List[object]:
     """Run a ``prim::FusionGroup``: compile-once, launch-once."""
-    kernel = node.attrs.get("kernel")
-    if kernel is None:
-        kernel = compile_block(node.blocks[0], name="_fusion")
-        node.attrs["kernel"] = kernel
+    kernel = _node_kernel(
+        node, lambda: compile_block(node.blocks[0], name="_fusion"))
     raw = kernel([_unwrap(x) for x in inputs])
     outputs = [_wrap(r) for r in raw]
     n_ops = node.attrs.get("num_member_ops", len(node.blocks[0].nodes))
@@ -79,12 +96,13 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
     not values).
     """
     body = node.blocks[0]
-    kernel = node.attrs.get("kernel")
-    if kernel is None:
+
+    def _build():
         from ..ir.graph import free_values
-        kernel = compile_block(body, name="_hloop",
-                               extra_inputs=free_values(body))
-        node.attrs["kernel"] = kernel
+        return compile_block(body, name="_hloop",
+                             extra_inputs=free_values(body))
+
+    kernel = _node_kernel(node, _build)
 
     state = [_unwrap(c) for c in carried]
     caps = [_unwrap(c) for c in captures]
@@ -110,10 +128,7 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
 def run_parallel_map(node: Node, inputs: List[object]) -> List[object]:
     """Execute a standalone ``prim::ParallelMap`` (trip, *captures)."""
     body = node.blocks[0]
-    kernel = node.attrs.get("kernel")
-    if kernel is None:
-        kernel = compile_block(body, name="_pmap")
-        node.attrs["kernel"] = kernel
+    kernel = _node_kernel(node, lambda: compile_block(body, name="_pmap"))
     trip = int(inputs[0])
     caps = [_unwrap(c) for c in inputs[1:]]
     per_iter = [kernel([i] + caps) for i in range(trip)]

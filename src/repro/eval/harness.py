@@ -1,20 +1,41 @@
 """Measurement harness: compile, execute under the profiler, and price
 the run on a platform's cost model.
 
-``run_workload`` is the single entry point the figures and the
-pytest-benchmark suites share.  Compilation is cached per
+``run_workload`` is the single entry point the figures, the serving
+layer, and the pytest-benchmark suites share.  Compilation is cached per
 (pipeline, workload, input shapes) with LRU eviction — shapes are part
 of the key because compiled artifacts carry shape-derived state (traced
 graphs, cached memory plans, specialized kernels) — and runs verify
 numerical equivalence against eager on demand.
+
+Concurrency contract
+--------------------
+
+:class:`CompileCache` is safe to share across threads: every counter
+and entry update happens under one lock, a miss registers an *in-flight*
+slot so concurrent requests for the same key wait for one compilation
+instead of duplicating it, and each ``get_or_compile`` call reports its
+own hit/miss status (callers must never infer it by diffing the global
+counters — that was racy, see tests/test_concurrency.py).
+
+Counter lifecycle
+-----------------
+
+Hit/miss counters are **per-epoch**: ``clear()`` drops the entries,
+zeroes the counters, and increments ``epoch``.  Anything that snapshots
+the counters (``RunResult``, ``tools/inspect``, ``repro.serve``
+metrics) records the epoch alongside them, so two snapshots are only
+comparable when their epochs match.  ``snapshot()`` returns all of it
+atomically.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -25,52 +46,151 @@ from ..pipelines.base import Compiled
 from .platforms import Platform, get_platform
 
 
-class _CompileCache:
-    """LRU map of (pipeline, workload, shape signature) -> Compiled.
+@dataclass(frozen=True)
+class CacheStats:
+    """Atomic snapshot of a cache's per-epoch counters."""
+
+    epoch: int
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _InFlight:
+    """One compilation in progress; waiters block on the event."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class CompileCache:
+    """Thread-safe LRU map of (pipeline, workload, shape signature) ->
+    Compiled.
 
     Bounded so shape sweeps (Figures 7/8 scan batch sizes and sequence
     lengths) cannot grow compilation state without limit; hit/miss
     counters are surfaced on :class:`RunResult` so benchmarks can tell
-    recompilations from cache replays.
+    recompilations from cache replays.  All mutation happens under one
+    lock; concurrent misses on the same key are deduplicated so exactly
+    one thread compiles while the rest wait for its result.
     """
 
     def __init__(self, capacity: int = 64) -> None:
         self.capacity = capacity
         self._entries: "OrderedDict[tuple, Compiled]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._inflight: dict = {}
         self.hits = 0
         self.misses = 0
+        self.epoch = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
+
+    def lookup(self, key: tuple) -> Tuple[Optional[Compiled], bool]:
+        """Fetch and mark recently used; returns ``(entry, hit)``.
+
+        The per-call ``hit`` flag is the only correct way to learn the
+        outcome under concurrency — other threads move the global
+        counters between any two reads.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None, False
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry, True
 
     def get(self, key: tuple) -> Optional[Compiled]:
         """Fetch and mark recently used; counts a hit or a miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        return self.lookup(key)[0]
 
     def put(self, key: tuple, compiled: Compiled) -> None:
         """Insert, evicting the least recently used beyond capacity."""
-        self._entries[key] = compiled
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get_or_compile(self, key: tuple,
+                       factory: Callable[[], Compiled]
+                       ) -> Tuple[Compiled, bool]:
+        """Return ``(compiled, hit)``, invoking ``factory`` on a miss.
+
+        Concurrent misses on the same key coalesce: one caller owns the
+        compilation, the others wait on its in-flight slot and then
+        re-check the cache (re-counting as a hit on success).  If the
+        owner's factory raises, waiters retry the compilation
+        themselves rather than inheriting the owner's exception.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return entry, True
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    self.misses += 1
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                flight.event.wait()
+                continue  # re-check: hit on success, own miss on error
+            try:
+                compiled = factory()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            self.put(key, compiled)
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            return compiled, False
+
+    def snapshot(self) -> CacheStats:
+        """All counters plus the epoch, read atomically."""
+        with self._lock:
+            return CacheStats(epoch=self.epoch, hits=self.hits,
+                              misses=self.misses,
+                              size=len(self._entries),
+                              capacity=self.capacity)
 
     def clear(self) -> None:
-        """Drop entries and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        """Drop entries, reset the counters, and start a new epoch."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.epoch += 1
 
 
-_compile_cache = _CompileCache()
+#: Back-compat alias — the class predates its public, thread-safe form.
+_CompileCache = CompileCache
+
+_compile_cache = CompileCache()
 
 
 @dataclass
@@ -89,10 +209,13 @@ class RunResult:
     peak_bytes: int = 0
     bytes_allocated: int = 0
     bytes_reused: int = 0
-    #: compile-cache state at the end of this run
+    #: compile-cache state at the end of this run; ``cache_hits`` /
+    #: ``cache_misses`` are per-epoch cumulative counters, only
+    #: comparable between results with the same ``cache_epoch``
     cache_hits: int = 0
     cache_misses: int = 0
     cache_hit: bool = False
+    cache_epoch: int = 0
     wallclock_s: Optional[float] = None
     outputs: tuple = field(default=(), repr=False)
 
@@ -115,32 +238,54 @@ def _shape_signature(example_args) -> tuple:
         for a in example_args)
 
 
+def compile_key(pipeline: Pipeline, workload: Workload,
+                example_args=None) -> tuple:
+    """The cache key a (pipeline, workload, inputs) triple compiles
+    under — shared with ``repro.serve`` so batcher grouping and cache
+    specialization agree."""
+    return (pipeline.name, workload.name, _shape_signature(example_args))
+
+
+def compile_cached_status(pipeline: Pipeline, workload: Workload,
+                          example_args=None,
+                          cache: Optional[CompileCache] = None
+                          ) -> Tuple[Compiled, bool]:
+    """Compile (or fetch) and report this call's own hit/miss status.
+
+    ``cache`` defaults to the process-wide cache; the serving layer
+    injects its own instance so server metrics are isolated from
+    figure sweeps running in the same process.
+    """
+    cache = cache if cache is not None else _compile_cache
+    key = compile_key(pipeline, workload, example_args)
+    return cache.get_or_compile(
+        key, lambda: pipeline.compile(workload.model_fn,
+                                      example_args=example_args))
+
+
 def compile_cached(pipeline: Pipeline, workload: Workload,
-                   example_args=None) -> Compiled:
+                   example_args=None,
+                   cache: Optional[CompileCache] = None) -> Compiled:
     """Compile (or fetch) a pipeline/workload pair, keyed on the input
     shape signature so sweeps never replay state specialized for a
     different batch size or sequence length."""
-    key = (pipeline.name, workload.name, _shape_signature(example_args))
-    compiled = _compile_cache.get(key)
-    if compiled is None:
-        compiled = pipeline.compile(workload.model_fn,
-                                    example_args=example_args)
-        _compile_cache.put(key, compiled)
-    return compiled
+    return compile_cached_status(pipeline, workload, example_args,
+                                 cache=cache)[0]
 
 
 def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
                  batch_size: int = 1, seq_len: int = 64, seed: int = 0,
                  check: bool = False, measure_wallclock: bool = False,
-                 repeats: int = 3) -> RunResult:
+                 repeats: int = 3,
+                 cache: Optional[CompileCache] = None) -> RunResult:
     """Execute one (workload, pipeline) pair and price it."""
     wl = get_workload(workload)
     pipe = get_pipeline(pipeline)
     plat: Platform = get_platform(platform)
+    cache = cache if cache is not None else _compile_cache
     args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len, seed=seed)
-    misses_before = _compile_cache.misses
-    compiled = compile_cached(pipe, wl, example_args=args)
-    was_hit = _compile_cache.misses == misses_before
+    compiled, was_hit = compile_cached_status(pipe, wl, example_args=args,
+                                              cache=cache)
 
     run_args = clone_args(args)  # outside the profile: input prep is
     with rt.profile() as prof:   # not part of the measured run
@@ -160,6 +305,7 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
             best = min(best, time.perf_counter() - start)
         wallclock = best
 
+    snap = cache.snapshot()
     return RunResult(
         workload=workload, pipeline=pipeline, platform=platform,
         batch_size=batch_size, seq_len=seq_len,
@@ -172,9 +318,10 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
         peak_bytes=prof.peak_bytes,
         bytes_allocated=prof.bytes_allocated,
         bytes_reused=prof.bytes_reused,
-        cache_hits=_compile_cache.hits,
-        cache_misses=_compile_cache.misses,
+        cache_hits=snap.hits,
+        cache_misses=snap.misses,
         cache_hit=was_hit,
+        cache_epoch=snap.epoch,
         wallclock_s=wallclock,
         outputs=outputs if isinstance(outputs, tuple) else (outputs,),
     )
@@ -202,5 +349,12 @@ def _assert_equal(got, expected, workload: str, pipeline: str) -> None:
 
 
 def clear_compile_cache() -> None:
-    """Drop all cached compilations (tests isolate through this)."""
+    """Drop all cached compilations and advance the counter epoch
+    (tests isolate through this)."""
     _compile_cache.clear()
+
+
+def compile_cache_stats() -> CacheStats:
+    """Snapshot of the process-wide cache (``tools/inspect`` and the
+    serve metrics read counters through this, never raw attributes)."""
+    return _compile_cache.snapshot()

@@ -19,6 +19,7 @@ loop-carried slots discovered by the liveness pass.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -133,13 +134,20 @@ def plan_graph(graph: Graph,
     return plan
 
 
+_plan_lock = threading.Lock()
+
+
 def get_or_build_plan(graph: Graph) -> MemoryPlan:
     """The memoized plan for a graph (cached on the graph object, so a
-    compiled artifact plans exactly once)."""
+    compiled artifact plans exactly once — the lock keeps that true
+    when concurrent serving workers share the artifact)."""
     plan = getattr(graph, "_memplan", None)
     if plan is None or plan.graph is not graph:
-        plan = plan_graph(graph)
-        graph._memplan = plan
+        with _plan_lock:
+            plan = getattr(graph, "_memplan", None)
+            if plan is None or plan.graph is not graph:
+                plan = plan_graph(graph)
+                graph._memplan = plan
     return plan
 
 

@@ -11,13 +11,21 @@ Usage::
     with profile() as prof:
         run_model()
     prof.num_launches, prof.total_bytes, prof.total_flops
+
+Profiling state is **context-local** (:mod:`contextvars`): each thread
+(and each ``contextvars.Context``) owns an independent profile stack,
+so two ``run_workload`` calls on different threads never interleave
+each other's launch/alloc events or corrupt ``peak_bytes``.  Within one
+context the behavior is unchanged — profiles nest, and every active
+profile on the stack records every event.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -118,35 +126,59 @@ class Profile:
         self.alloc_events.clear()
 
 
-_stack: List[Profile] = []
+#: The active profile stack of the *current* context.  New threads see
+#: the default (empty) stack, which is the isolation guarantee.
+_stack_var: ContextVar[Tuple[Profile, ...]] = ContextVar(
+    "repro_profile_stack", default=())
+
+
+def active_profiles() -> Tuple[Profile, ...]:
+    """The context's profile stack, outermost first (read-only view)."""
+    return _stack_var.get()
 
 
 def current_profile() -> Optional[Profile]:
     """The innermost active profile, or None when not profiling."""
-    return _stack[-1] if _stack else None
+    stack = _stack_var.get()
+    return stack[-1] if stack else None
+
+
+def push_profile(prof: Profile) -> None:
+    """Explicit-stack API: make ``prof`` the innermost active profile
+    of this context (pair with :func:`pop_profile`)."""
+    _stack_var.set(_stack_var.get() + (prof,))
+
+
+def pop_profile() -> Profile:
+    """Explicit-stack API: deactivate and return the innermost profile."""
+    stack = _stack_var.get()
+    if not stack:
+        raise RuntimeError("pop_profile: no active profile in this context")
+    _stack_var.set(stack[:-1])
+    return stack[-1]
 
 
 @contextmanager
 def profile() -> Iterator[Profile]:
     """Collect kernel launches executed inside the ``with`` body."""
     prof = Profile()
-    _stack.append(prof)
+    token = _stack_var.set(_stack_var.get() + (prof,))
     try:
         yield prof
     finally:
-        _stack.pop()
+        _stack_var.reset(token)
 
 
 def record_launch(op: str, nbytes: int = 0, flops: int = 0,
                   fused_ops: int = 1) -> None:
     """Record one kernel launch on every active profile."""
-    for prof in _stack:
+    for prof in _stack_var.get():
         prof.events.append(KernelEvent(op, int(nbytes), int(flops), fused_ops))
 
 
 def record_python(kind: str, count: int = 1) -> None:
     """Record host-side interpreter work (dispatch / graph-break cost)."""
-    for prof in _stack:
+    for prof in _stack_var.get():
         prof.python_events.append(PythonEvent(kind, count))
 
 
@@ -157,11 +189,11 @@ def record_alloc(nbytes: int, reused: bool = False) -> None:
     free list, so the arena (and thus ``peak_bytes``) did not grow.
     """
     kind = "reuse" if reused else "alloc"
-    for prof in _stack:
+    for prof in _stack_var.get():
         prof.alloc_events.append(AllocEvent(kind, int(nbytes)))
 
 
 def record_free(nbytes: int) -> None:
     """Record one buffer release into a pool free list."""
-    for prof in _stack:
+    for prof in _stack_var.get():
         prof.alloc_events.append(AllocEvent("free", int(nbytes)))

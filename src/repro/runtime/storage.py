@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import itertools
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,8 +30,12 @@ from . import profiler
 
 _storage_ids = itertools.count()
 
-#: the innermost installed pool; Storage creations route through it
-_active_pool: List["MemoryPool"] = []
+#: the innermost installed pool; Storage creations route through it.
+#: Context-local so concurrent planned runs on different threads never
+#: allocate through each other's pools (see runtime/profiler.py for the
+#: same discipline on profile stacks).
+_active_pool: ContextVar[Tuple["MemoryPool", ...]] = ContextVar(
+    "repro_pool_stack", default=())
 
 
 class Storage:
@@ -180,14 +185,16 @@ class MemoryPool:
 
 def current_pool() -> Optional[MemoryPool]:
     """The innermost installed pool, or None outside any pool scope."""
-    return _active_pool[-1] if _active_pool else None
+    stack = _active_pool.get()
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def pool_scope(pool: MemoryPool) -> Iterator[MemoryPool]:
-    """Route every Storage allocation inside the body through ``pool``."""
-    _active_pool.append(pool)
+    """Route every Storage allocation inside the body through ``pool``
+    (context-local: only this thread/context sees the pool)."""
+    token = _active_pool.set(_active_pool.get() + (pool,))
     try:
         yield pool
     finally:
-        _active_pool.pop()
+        _active_pool.reset(token)

@@ -1,0 +1,39 @@
+"""``repro.serve`` — concurrent, dynamically-batched model serving.
+
+The production-facing layer over the compilation pipelines: a
+:class:`Server` accepts many concurrent requests, coalesces compatible
+ones along each workload's batch axis (``batching.BatchSpec``),
+executes them as single kernel-launch-profiled runs through the shared
+compile cache, and answers with per-request :class:`Response` objects.
+Policies (deadlines, backpressure, eager fallback, bounded retry) live
+in :class:`ServePolicy`; observability in :class:`ServerStats`.
+
+Quick start::
+
+    from repro.serve import Server, ServePolicy
+
+    with Server(ServePolicy(workers=4, max_batch_size=8)) as srv:
+        fut = srv.submit("attention", pipeline="tensorssa", seq_len=32)
+        resp = fut.result()
+        assert resp.ok
+
+Load-test it with ``python -m repro.tools.serve_bench``.
+"""
+
+from .batching import (BATCH_SPECS, BatchPlan, BatchSpec, coalesce,
+                       get_batch_spec, group_key, scatter)
+from .executor import BatchExecutor
+from .policy import (ServePolicy, VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO)
+from .request import (Request, Response, STATUS_CANCELLED, STATUS_ERROR,
+                      STATUS_OK, STATUS_REJECTED, STATUS_TIMEOUT)
+from .server import QueueFullError, Server
+from .stats import ServerStats, percentile
+
+__all__ = [
+    "Server", "ServePolicy", "ServerStats", "QueueFullError",
+    "Request", "Response", "BatchExecutor",
+    "BatchSpec", "BatchPlan", "BATCH_SPECS", "get_batch_spec",
+    "group_key", "coalesce", "scatter", "percentile",
+    "STATUS_OK", "STATUS_TIMEOUT", "STATUS_ERROR", "STATUS_REJECTED",
+    "STATUS_CANCELLED", "VERIFY_OFF", "VERIFY_BATCH", "VERIFY_SOLO",
+]

@@ -1,0 +1,282 @@
+"""Batch execution: compile-or-fetch, run, price, verify, scatter.
+
+The executor is where a coalesced batch meets the existing pipelines:
+it routes compilation through the server's injectable
+:class:`~repro.eval.harness.CompileCache` (shape-specialized, in-flight
+deduplicated), runs the compiled callable under a context-local
+profiler, prices the run on the request's platform cost model, and
+scatters outputs back per request.
+
+Robustness ladder (policy-controlled):
+
+1. deadline already expired at dequeue -> timeout response, no device
+   time spent;
+2. no cached artifact and the deadline is within ``deadline_slack_s``
+   -> serve eagerly (skip the cold compile);
+3. compilation raises -> serve the whole batch eagerly;
+4. batch execution raises -> each request retries solo (eagerly), up to
+   ``max_retries`` attempts, isolating poison requests;
+5. verification (optional): "batch" demands bit-exact agreement with
+   eager on the identical coalesced inputs; "solo" compares each
+   response to a solo eager run (allclose, since batching may change
+   GEMM reduction order; bit-exact when the request ran unbatched).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+import repro.runtime as rt
+from ..eval.harness import CompileCache, clone_args, compile_key
+from ..eval.platforms import Platform, get_platform
+from ..pipelines import Pipeline, get_pipeline
+from .batching import BatchPlan, coalesce, scatter
+from .policy import VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO, ServePolicy
+from .request import (Request, Response, STATUS_ERROR, STATUS_OK,
+                      STATUS_TIMEOUT)
+from .stats import ServerStats
+
+
+def _bit_equal(got, expected) -> bool:
+    ga = got.numpy() if isinstance(got, rt.Tensor) else np.asarray(got)
+    ea = expected.numpy() if isinstance(expected, rt.Tensor) \
+        else np.asarray(expected)
+    return ga.shape == ea.shape and ga.dtype == ea.dtype \
+        and np.array_equal(ga, ea, equal_nan=True)
+
+
+def _close(got, expected, rtol: float = 1e-4, atol: float = 1e-5) -> bool:
+    ga = got.numpy() if isinstance(got, rt.Tensor) else np.asarray(got)
+    ea = expected.numpy() if isinstance(expected, rt.Tensor) \
+        else np.asarray(expected)
+    if ga.shape != ea.shape:
+        return False
+    return bool(np.allclose(ga.astype(np.float64), ea.astype(np.float64),
+                            rtol=rtol, atol=atol, equal_nan=True))
+
+
+def _tuple_outputs(outputs) -> tuple:
+    return outputs if isinstance(outputs, tuple) else (outputs,)
+
+
+class BatchExecutor:
+    """Executes coalesced batches for one server."""
+
+    def __init__(self, policy: ServePolicy, cache: CompileCache,
+                 stats: ServerStats) -> None:
+        self.policy = policy
+        self.cache = cache
+        self.stats = stats
+        self._pipelines: Dict[str, Pipeline] = {}
+        self._platforms: Dict[str, Platform] = {}
+
+    # -- lookups (memoized: one pipeline/platform object per name) ------
+
+    def pipeline(self, name: str) -> Pipeline:
+        pipe = self._pipelines.get(name)
+        if pipe is None:
+            pipe = get_pipeline(name)
+            self._pipelines[name] = pipe
+        return pipe
+
+    def platform(self, name: str) -> Platform:
+        plat = self._platforms.get(name)
+        if plat is None:
+            plat = get_platform(name)
+            self._platforms[name] = plat
+        return plat
+
+    # -- entry point ----------------------------------------------------
+
+    def execute(self, requests: Sequence[Request]) -> None:
+        """Serve a same-group batch: every request's future resolves."""
+        now = time.monotonic()
+        live: List[Request] = []
+        for req in requests:
+            if req.expired(now):
+                self._finish(req, Response(
+                    request_id=req.id, workload=req.workload.name,
+                    pipeline=req.pipeline, platform=req.platform,
+                    status=STATUS_TIMEOUT, queue_wait_s=now - req.enqueued_at,
+                    error="deadline expired before execution"))
+            else:
+                live.append(req)
+        if not live:
+            return
+        self.stats.on_batch(len(live))
+        plan = coalesce(live)
+        try:
+            self._execute_plan(plan)
+        except Exception as exc:  # batch path failed -> solo retries
+            self._retry_solo(plan.requests, first_error=exc)
+        self.stats.set_cache_snapshot(self.cache.snapshot())
+
+    # -- main path ------------------------------------------------------
+
+    def _execute_plan(self, plan: BatchPlan) -> None:
+        req0 = plan.requests[0]
+        pipe = self.pipeline(req0.pipeline)
+        wl = req0.workload
+        key = compile_key(pipe, wl, plan.args)
+
+        if self._should_skip_cold_compile(plan, key):
+            self._run_eager_each(plan.requests, reason="deadline near")
+            return
+
+        try:
+            compiled, hit = self.cache.get_or_compile(
+                key, lambda: pipe.compile(wl.model_fn,
+                                          example_args=plan.args))
+        except Exception as exc:
+            if not self.policy.eager_fallback:
+                raise
+            self._run_eager_each(
+                plan.requests, reason=f"compile failed: {exc}")
+            return
+
+        start = time.perf_counter()
+        run_args = clone_args(plan.args)
+        with rt.profile() as prof:
+            outputs = compiled(*run_args)
+        wall = time.perf_counter() - start
+
+        plat = self.platform(req0.platform)
+        latency_us = plat.latency_us(prof, pipe.host_profile,
+                                     pipe.device_penalty)
+        per_request = scatter(_tuple_outputs(outputs), plan)
+        expected_per_request = self._batch_expected(plan)
+
+        done = time.monotonic()
+        for i, (req, outs) in enumerate(zip(plan.requests, per_request)):
+            verified = self._verdict(req, outs, i, expected_per_request,
+                                     n_batch=len(plan.requests))
+            self._finish(req, Response(
+                request_id=req.id, workload=wl.name, pipeline=req.pipeline,
+                platform=req.platform, status=STATUS_OK,
+                served_by=pipe.name, outputs=outs,
+                batch_requests=len(plan.requests),
+                batch_rows=plan.total_rows,
+                batch_latency_us=latency_us,
+                kernel_launches=prof.num_launches,
+                queue_wait_s=done - req.enqueued_at - wall,
+                exec_wall_s=wall, cache_hit=hit, verified=verified))
+
+    def _should_skip_cold_compile(self, plan: BatchPlan, key: tuple) -> bool:
+        """Deadline-near policy: don't start a cold compile when any
+        member's remaining budget is inside the slack window."""
+        if not self.policy.eager_fallback or key in self.cache:
+            return False
+        now = time.monotonic()
+        return any(r.remaining(now) < self.policy.deadline_slack_s
+                   for r in plan.requests)
+
+    # -- oracles --------------------------------------------------------
+
+    def _batch_expected(self, plan: BatchPlan) -> Optional[List[tuple]]:
+        """Eager reference on the identical coalesced inputs, scattered
+        per request (the bit-exactness oracle for batched serving)."""
+        if self.policy.verify != VERIFY_BATCH:
+            return None
+        expected = plan.requests[0].workload.model_fn(
+            *clone_args(plan.args))
+        return scatter(_tuple_outputs(expected), plan)
+
+    def _verdict(self, req: Request, outs: tuple, idx: int,
+                 expected_per_request: Optional[List[tuple]],
+                 n_batch: int) -> Optional[bool]:
+        """Oracle verdict for one served request (None = verify off)."""
+        if self.policy.verify == VERIFY_OFF:
+            return None
+        if self.policy.verify == VERIFY_BATCH:
+            expected = expected_per_request[idx]
+            return len(outs) == len(expected) and all(
+                _bit_equal(g, e) for g, e in zip(outs, expected))
+        # VERIFY_SOLO: eager on this request's own inputs.  Bit-exact
+        # when the request ran unbatched; allclose otherwise (batching
+        # may legally change BLAS reduction order).
+        expected = _tuple_outputs(
+            req.workload.model_fn(*clone_args(req.args)))
+        if len(outs) != len(expected):
+            return False
+        if n_batch == 1:
+            return all(_bit_equal(g, e) for g, e in zip(outs, expected))
+        return all(_close(g, e) for g, e in zip(outs, expected))
+
+    # -- fallback / retry ----------------------------------------------
+
+    def _run_eager_each(self, requests: Sequence[Request],
+                        reason: str) -> None:
+        """Serve each request solo through the eager pipeline."""
+        for req in requests:
+            try:
+                self._run_one_eager(req, retries=0, fallback=True)
+            except Exception as exc:
+                self._finish(req, Response(
+                    request_id=req.id, workload=req.workload.name,
+                    pipeline=req.pipeline, platform=req.platform,
+                    status=STATUS_ERROR, served_by="eager",
+                    error=f"{reason}; eager fallback failed: {exc}"),
+                    fallback=True)
+
+    def _run_one_eager(self, req: Request, retries: int,
+                       fallback: bool) -> None:
+        start = time.perf_counter()
+        run_args = clone_args(req.args)
+        with rt.profile() as prof:
+            outputs = req.workload.model_fn(*run_args)
+        wall = time.perf_counter() - start
+        plat = self.platform(req.platform)
+        outs = _tuple_outputs(outputs)
+        verified: Optional[bool] = None
+        if self.policy.verify != VERIFY_OFF:
+            expected = _tuple_outputs(
+                req.workload.model_fn(*clone_args(req.args)))
+            verified = len(outs) == len(expected) and all(
+                _bit_equal(g, e) for g, e in zip(outs, expected))
+        self._finish(req, Response(
+            request_id=req.id, workload=req.workload.name,
+            pipeline=req.pipeline, platform=req.platform,
+            status=STATUS_OK, served_by="eager", outputs=outs,
+            batch_requests=1, batch_rows=req.batch_rows,
+            batch_latency_us=plat.latency_us(prof, "eager", 1.0),
+            kernel_launches=prof.num_launches,
+            queue_wait_s=time.monotonic() - req.enqueued_at - wall,
+            exec_wall_s=wall, verified=verified, retries=retries),
+            fallback=fallback)
+
+    def _retry_solo(self, requests: Sequence[Request],
+                    first_error: Exception) -> None:
+        """Batch execution failed: isolate requests and retry solo."""
+        for req in requests:
+            last: Exception = first_error
+            for attempt in range(1, self.policy.max_retries + 1):
+                try:
+                    self._run_one_eager(req, retries=attempt, fallback=True)
+                    break
+                except Exception as exc:
+                    last = exc
+            else:
+                self._finish(req, Response(
+                    request_id=req.id, workload=req.workload.name,
+                    pipeline=req.pipeline, platform=req.platform,
+                    status=STATUS_ERROR, served_by="eager",
+                    retries=self.policy.max_retries,
+                    error=f"batch failed ({first_error}); "
+                          f"solo retries exhausted: {last}"),
+                    fallback=True)
+
+    # -- delivery -------------------------------------------------------
+
+    def _finish(self, req: Request, resp: Response,
+                fallback: bool = False) -> None:
+        self.stats.on_response(
+            status=resp.status,
+            latency_s=max(0.0, time.monotonic() - req.enqueued_at),
+            queue_wait_s=max(0.0, resp.queue_wait_s),
+            cache_hit=resp.cache_hit, fallback=fallback,
+            retries=resp.retries, verified=resp.verified)
+        if not req.future.done():
+            req.future.set_result(resp)

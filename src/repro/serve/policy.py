@@ -1,0 +1,66 @@
+"""Serving policy knobs: batching, queueing, deadlines, fallback.
+
+One :class:`ServePolicy` object configures a :class:`~repro.serve.
+server.Server`.  The defaults favor throughput (coalesce up to 8
+requests, wait a few milliseconds for peers) while staying safe: a
+bounded queue exerts backpressure on submitters, expired requests are
+answered with a timeout instead of occupying device time, and requests
+that cannot be compiled (or whose deadline is too close for a cold
+compile) fall back to the eager pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Verification modes (see executor.py for the oracle semantics).
+VERIFY_OFF = "off"
+VERIFY_BATCH = "batch"
+VERIFY_SOLO = "solo"
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """All tunables of the serving layer, in one immutable object."""
+
+    #: worker threads draining the queues
+    workers: int = 4
+    #: most requests one executed batch may coalesce (1 = no batching)
+    max_batch_size: int = 8
+    #: how long the oldest queued request waits for peers before a
+    #: partial batch is flushed anyway (seconds)
+    batch_wait_s: float = 0.002
+    #: total requests the server will hold queued; submit() blocks
+    #: (or rejects, see ``reject_on_full``) beyond this
+    queue_capacity: int = 256
+    #: how long a blocked submit() waits for queue space before the
+    #: request is rejected (seconds)
+    submit_timeout_s: float = 5.0
+    #: when True a full queue rejects immediately instead of blocking
+    reject_on_full: bool = False
+    #: default per-request deadline; None = requests never expire
+    request_timeout_s: float = 30.0
+    #: fall back to eager when compilation fails, or when a request's
+    #: remaining deadline is below ``deadline_slack_s`` and no compiled
+    #: artifact is cached for its shape (a cold compile would blow it)
+    eager_fallback: bool = True
+    deadline_slack_s: float = 0.25
+    #: per-request executions after the first attempt (batch fails ->
+    #: requests retried solo; a poison request fails alone)
+    max_retries: int = 1
+    #: result oracle: "off", "batch" (bit-exact vs eager on the same
+    #: coalesced batch), or "solo" (allclose vs eager per request;
+    #: bit-exact when the request ran unbatched)
+    verify: str = VERIFY_OFF
+    #: capacity of the server's private compile cache
+    cache_capacity: int = 128
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.verify not in (VERIFY_OFF, VERIFY_BATCH, VERIFY_SOLO):
+            raise ValueError(f"unknown verify mode {self.verify!r}")

@@ -1,0 +1,90 @@
+"""Request/response types for the serving layer.
+
+A :class:`Request` is one inference call: a workload, the pipeline and
+platform to serve it on, and its input tensors.  The server answers
+with a :class:`Response` carrying the outputs plus per-request
+observability (queue wait, the batch it rode in, cache hit status,
+which executor actually served it).
+
+Responses are delivered through ``concurrent.futures.Future`` objects,
+so callers can block (``future.result()``), poll, or attach callbacks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..models import Workload
+
+#: Response status values.
+STATUS_OK = "ok"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+STATUS_REJECTED = "rejected"
+STATUS_CANCELLED = "cancelled"
+
+_request_ids = itertools.count()
+
+
+@dataclass(eq=False)  # identity semantics: args hold tensors
+class Request:
+    """One queued inference request (internal to the server)."""
+
+    workload: Workload
+    pipeline: str
+    platform: str
+    args: tuple
+    #: rows this request contributes along its workload's batch axis
+    batch_rows: int = 1
+    #: absolute monotonic deadline; None = no deadline
+    deadline: Optional[float] = None
+    id: int = field(default_factory=lambda: next(_request_ids))
+    enqueued_at: float = field(default_factory=time.monotonic)
+    future: "Future[Response]" = field(default_factory=Future)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
+
+    def remaining(self, now: Optional[float] = None) -> float:
+        """Seconds until the deadline (inf when none is set)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - (now if now is not None else time.monotonic())
+
+
+@dataclass
+class Response:
+    """The server's answer to one request."""
+
+    request_id: int
+    workload: str
+    pipeline: str
+    platform: str
+    status: str
+    #: pipeline that actually produced the outputs: the requested one,
+    #: or "eager" when the fallback policy kicked in
+    served_by: str = ""
+    outputs: Tuple = field(default=(), repr=False)
+    #: how many requests / total batch rows rode in the same executed batch
+    batch_requests: int = 0
+    batch_rows: int = 0
+    #: modeled device+host latency of the whole executed batch (µs)
+    batch_latency_us: float = 0.0
+    kernel_launches: int = 0
+    queue_wait_s: float = 0.0
+    exec_wall_s: float = 0.0
+    cache_hit: bool = False
+    #: None = verification off; True/False = oracle verdict
+    verified: Optional[bool] = None
+    retries: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK

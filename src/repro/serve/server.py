@@ -1,0 +1,222 @@
+"""The serving facade: bounded queues, dynamic batching, worker pool.
+
+``Server`` accepts concurrent inference requests (``submit`` /
+``submit_many``), parks them in per-(workload, pipeline, platform,
+shape, shared-state) group queues, and lets a pool of worker threads
+drain them: a worker flushes a group as soon as it holds
+``max_batch_size`` requests, or once the group's oldest request has
+waited ``batch_wait_s``, whichever comes first — classic dynamic
+batching.  Each flushed batch is coalesced along the workload's batch
+axis and executed as one kernel-launch-profiled run (see
+``executor.py``), so the device cost of a request shrinks roughly with
+the batch size — the horizontal-parallelization argument of the paper,
+applied across users instead of across loop iterations.
+
+Usage::
+
+    with Server(ServePolicy(workers=4, max_batch_size=8)) as srv:
+        futs = [srv.submit("lstm", args=a, pipeline="tensorssa")
+                for a in request_args]
+        responses = [f.result() for f in futs]
+
+``shutdown(drain=True)`` (implicit at ``with`` exit) stops intake,
+serves everything already queued, and joins the workers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Deque, Dict, Iterable, List, Optional, Union
+
+from ..eval.harness import CompileCache
+from ..models import Workload, get_workload
+from .batching import get_batch_spec, group_key, request_rows
+from .executor import BatchExecutor
+from .policy import ServePolicy
+from .request import (Request, Response, STATUS_CANCELLED,
+                      STATUS_REJECTED)
+from .stats import ServerStats
+
+
+class QueueFullError(RuntimeError):
+    """Raised by ``submit`` when the queue is full and the policy
+    rejects instead of returning a rejected response."""
+
+
+class Server:
+    """Concurrent, dynamically-batched front door over the pipelines."""
+
+    def __init__(self, policy: Optional[ServePolicy] = None,
+                 cache: Optional[CompileCache] = None,
+                 stats: Optional[ServerStats] = None) -> None:
+        self.policy = policy or ServePolicy()
+        #: private by default so server metrics don't interleave with
+        #: figure sweeps; inject a cache to share compilations
+        self.cache = cache if cache is not None \
+            else CompileCache(capacity=self.policy.cache_capacity)
+        self.stats = stats or ServerStats()
+        self.executor = BatchExecutor(self.policy, self.cache, self.stats)
+        self._cond = threading.Condition()
+        #: insertion-ordered so the scheduler scans oldest groups first
+        self._groups: "OrderedDict[tuple, Deque[Request]]" = OrderedDict()
+        self._pending = 0
+        self._closed = False
+        self._workers: List[threading.Thread] = []
+        for i in range(self.policy.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._workers.append(t)
+
+    # -- intake ---------------------------------------------------------
+
+    def submit(self, workload: Union[str, Workload], args: tuple = None,
+               *, pipeline: str = "tensorssa",
+               platform: str = "datacenter", batch_size: int = 1,
+               seq_len: int = 64, seed: int = 0,
+               timeout_s: Optional[float] = None) -> "Future[Response]":
+        """Enqueue one request; returns a future for its Response.
+
+        ``args`` are the request's input tensors; when omitted they are
+        synthesized via the workload's ``make_inputs`` (handy for load
+        generation).  ``timeout_s`` overrides the policy deadline
+        (``None`` = policy default, ``0`` or negative = no deadline).
+        """
+        wl = get_workload(workload) if isinstance(workload, str) else workload
+        if args is None:
+            args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len,
+                                  seed=seed)
+        budget = self.policy.request_timeout_s if timeout_s is None \
+            else timeout_s
+        deadline = time.monotonic() + budget \
+            if budget and budget > 0 else None
+        spec = get_batch_spec(wl.name)
+        req = Request(workload=wl, pipeline=pipeline, platform=platform,
+                      args=tuple(args),
+                      batch_rows=request_rows(spec, args),
+                      deadline=deadline)
+        self._enqueue(req)
+        return req.future
+
+    def submit_many(self, submissions: Iterable[dict]
+                    ) -> List["Future[Response]"]:
+        """Enqueue a batch of ``submit`` keyword dicts at once."""
+        return [self.submit(**kwargs) for kwargs in submissions]
+
+    def _enqueue(self, req: Request) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("server is shut down")
+            if self._pending >= self.policy.queue_capacity:
+                if self.policy.reject_on_full:
+                    self._reject(req)
+                    return
+                deadline = time.monotonic() + self.policy.submit_timeout_s
+                while self._pending >= self.policy.queue_capacity \
+                        and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        self._reject(req)
+                        return
+                if self._closed:
+                    raise RuntimeError("server is shut down")
+            key = group_key(req)
+            queue = self._groups.get(key)
+            if queue is None:
+                queue = deque()
+                self._groups[key] = queue
+            queue.append(req)
+            req.enqueued_at = time.monotonic()
+            self._pending += 1
+            self.stats.on_submit(self._pending)
+            self._cond.notify_all()
+
+    def _reject(self, req: Request) -> None:
+        self.stats.on_reject()
+        req.future.set_result(Response(
+            request_id=req.id, workload=req.workload.name,
+            pipeline=req.pipeline, platform=req.platform,
+            status=STATUS_REJECTED, error="queue full"))
+
+    # -- scheduling -----------------------------------------------------
+
+    def _take_batch(self) -> Optional[List[Request]]:
+        """Block until a group is ready to flush; None = shut down and
+        drained.  Readiness: full batch, oldest member past its batch
+        wait, a member's deadline inside the slack window, or draining.
+        """
+        with self._cond:
+            while True:
+                now = time.monotonic()
+                next_flush: Optional[float] = None
+                for key, queue in self._groups.items():
+                    if not queue:
+                        continue
+                    oldest = queue[0]
+                    flush_at = oldest.enqueued_at + self.policy.batch_wait_s
+                    urgent = (oldest.remaining(now)
+                              <= self.policy.deadline_slack_s)
+                    if (len(queue) >= self.policy.max_batch_size
+                            or flush_at <= now or urgent or self._closed):
+                        batch = [queue.popleft() for _ in range(
+                            min(len(queue), self.policy.max_batch_size))]
+                        if not queue:
+                            del self._groups[key]
+                        self._pending -= len(batch)
+                        self._cond.notify_all()
+                        return batch
+                    next_flush = flush_at if next_flush is None \
+                        else min(next_flush, flush_at)
+                if self._closed and self._pending == 0:
+                    return None
+                timeout = None if next_flush is None \
+                    else max(0.0, next_flush - now)
+                self._cond.wait(timeout)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self.executor.execute(batch)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return self._pending
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop intake; serve (``drain=True``) or cancel what is queued,
+        then join the workers."""
+        with self._cond:
+            if not drain:
+                cancelled = 0
+                for queue in self._groups.values():
+                    while queue:
+                        req = queue.popleft()
+                        cancelled += 1
+                        req.future.set_result(Response(
+                            request_id=req.id, workload=req.workload.name,
+                            pipeline=req.pipeline, platform=req.platform,
+                            status=STATUS_CANCELLED,
+                            error="server shut down"))
+                self._groups.clear()
+                self._pending = 0
+                if cancelled:
+                    self.stats.on_cancel(cancelled)
+            self._closed = True
+            self._cond.notify_all()
+        for t in self._workers:
+            t.join(timeout)
+        self.stats.set_cache_snapshot(self.cache.snapshot())
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)

@@ -1,0 +1,155 @@
+"""Thread-safe serving metrics (`ServerStats`).
+
+Everything the load generator and the CI smoke gate read comes from
+here: request counts by outcome, the batch-size histogram, latency
+percentiles, queue-depth high-water, and the compile-cache snapshot
+(hit rate *and* epoch, so readers can tell when the counters were
+reset — see the counter-lifecycle note in ``eval/harness.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from ..eval.harness import CacheStats
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServerStats:
+    """Counters for one server, safe to update from many workers."""
+
+    #: cap on retained latency samples (reservoir truncates beyond it)
+    MAX_SAMPLES = 100_000
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.fallbacks = 0
+        self.retries = 0
+        self.diverged = 0
+        self.verified = 0
+        self.batches_executed = 0
+        self.batch_size_hist: Dict[int, int] = {}
+        self.queue_depth_peak = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._latency_s: List[float] = []
+        self._queue_wait_s: List[float] = []
+        self.cache_snapshot: Optional[CacheStats] = None
+
+    # -- recording ------------------------------------------------------
+
+    def on_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth_peak = max(self.queue_depth_peak, queue_depth)
+
+    def on_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def on_cancel(self, n: int = 1) -> None:
+        with self._lock:
+            self.cancelled += n
+
+    def on_batch(self, n_requests: int) -> None:
+        with self._lock:
+            self.batches_executed += 1
+            self.batch_size_hist[n_requests] = \
+                self.batch_size_hist.get(n_requests, 0) + 1
+
+    def on_response(self, status: str, latency_s: float,
+                    queue_wait_s: float, cache_hit: bool,
+                    fallback: bool, retries: int,
+                    verified: Optional[bool]) -> None:
+        with self._lock:
+            if status == "ok":
+                self.completed += 1
+            elif status == "timeout":
+                self.timeouts += 1
+            else:
+                self.errors += 1
+            if fallback:
+                self.fallbacks += 1
+            self.retries += retries
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            if verified is not None:
+                self.verified += 1
+                if not verified:
+                    self.diverged += 1
+            if len(self._latency_s) < self.MAX_SAMPLES:
+                self._latency_s.append(latency_s)
+                self._queue_wait_s.append(queue_wait_s)
+
+    def set_cache_snapshot(self, snap: CacheStats) -> None:
+        with self._lock:
+            self.cache_snapshot = snap
+
+    # -- reading --------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return self.cache_hits / total if total else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        with self._lock:
+            return percentile(self._latency_s, q)
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (what serve_bench writes to results/)."""
+        with self._lock:
+            latencies = list(self._latency_s)
+            waits = list(self._queue_wait_s)
+            snap = self.cache_snapshot
+            out = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "errors": self.errors,
+                "timeouts": self.timeouts,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+                "fallbacks": self.fallbacks,
+                "retries": self.retries,
+                "verified": self.verified,
+                "diverged": self.diverged,
+                "batches_executed": self.batches_executed,
+                "batch_size_hist": {str(k): v for k, v in
+                                    sorted(self.batch_size_hist.items())},
+                "queue_depth_peak": self.queue_depth_peak,
+                "request_cache_hits": self.cache_hits,
+                "request_cache_misses": self.cache_misses,
+            }
+        out["cache_hit_rate"] = (
+            out["request_cache_hits"] /
+            max(1, out["request_cache_hits"] + out["request_cache_misses"]))
+        out["latency_p50_ms"] = percentile(latencies, 50) * 1e3
+        out["latency_p95_ms"] = percentile(latencies, 95) * 1e3
+        out["queue_wait_p50_ms"] = percentile(waits, 50) * 1e3
+        out["queue_wait_p95_ms"] = percentile(waits, 95) * 1e3
+        if snap is not None:
+            out["compile_cache"] = {
+                "epoch": snap.epoch, "hits": snap.hits,
+                "misses": snap.misses, "size": snap.size,
+                "capacity": snap.capacity, "hit_rate": snap.hit_rate,
+            }
+        return out

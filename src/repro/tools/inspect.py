@@ -15,7 +15,8 @@ from collections import Counter
 from typing import Dict, List, Optional
 
 import repro.runtime as rt
-from ..eval.harness import clone_args
+from ..eval.harness import (clone_args, compile_cache_stats,
+                            compile_cached_status)
 from ..eval.platforms import get_platform
 from ..frontend import script
 from ..ir.graph import Graph
@@ -47,10 +48,13 @@ def inspect_workload(name: str, platform: str = "datacenter",
         "__source__": {"ops": op_histogram(source_graph)},
     }
     for pipe in (pipelines or default_pipelines()):
-        compiled = pipe.compile(wl.model_fn, example_args=args)
+        # go through the shared compile cache so the report's cache
+        # section uses the same epoch/counters the serving layer reports
+        compiled, cache_hit = compile_cached_status(pipe, wl, args)
         with rt.profile() as prof:
             compiled(*clone_args(args))
         entry = {
+            "cache_hit": cache_hit,
             "launches": prof.num_launches,
             "latency_us": plat.latency_us(prof, pipe.host_profile,
                                           pipe.device_penalty),
@@ -69,6 +73,12 @@ def inspect_workload(name: str, platform: str = "datacenter",
             if plan is not None:
                 entry["plan"] = plan
         report[pipe.name] = entry
+    snap = compile_cache_stats()
+    report["__cache__"] = {
+        "epoch": snap.epoch, "hits": snap.hits, "misses": snap.misses,
+        "size": snap.size, "capacity": snap.capacity,
+        "hit_rate": snap.hit_rate,
+    }
     return report
 
 
@@ -82,8 +92,13 @@ def print_report(name: str, report: Dict[str, dict],
     """Pretty-print an :func:`inspect_workload` report."""
     print(f"=== {name} ===")
     print(f"source ops: {_fmt_hist(report['__source__']['ops'])}")
+    cache = report.get("__cache__")
+    if cache:
+        print(f"compile cache: epoch={cache['epoch']} "
+              f"hits={cache['hits']} misses={cache['misses']} "
+              f"size={cache['size']}/{cache['capacity']}")
     for pipe, entry in report.items():
-        if pipe == "__source__":
+        if pipe.startswith("__"):
             continue
         print(f"\n[{pipe}] launches={entry['launches']} "
               f"latency={entry['latency_us']:.1f}us "

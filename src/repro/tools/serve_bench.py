@@ -1,0 +1,221 @@
+"""Serving throughput benchmark: batched vs one-at-a-time.
+
+``python -m repro.tools.serve_bench --workloads lstm,attention
+--requests 200 --concurrency 8`` drives a closed-loop load generator
+(N client threads, each keeping one request in flight) against a
+:class:`repro.serve.Server` twice per workload: once with dynamic
+batching enabled and once with ``max_batch_size=1`` (the serving
+baseline — same queues, same workers, no coalescing).  Every response
+is verified bit-exact against the eager pipeline on the identical
+executed inputs (``verify="batch"``), and the run fails if any request
+is dropped, errors, times out, or diverges.
+
+Results (throughput, latency percentiles, batch histogram, cache hit
+rates, speedup) are printed and written to ``results/serve_bench.json``.
+Exit status is the number of dropped/diverging requests across all
+runs, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..models import Workload, get_workload
+from ..serve import (Response, ServePolicy, Server, get_batch_spec)
+
+#: seed of the shared model state; per-request data seeds start above it
+STATE_SEED = 0
+DATA_SEED0 = 10_000
+
+
+def build_request_args(wl: Workload, seq_len: int, count: int
+                       ) -> List[tuple]:
+    """``count`` distinct request-input tuples that share model state.
+
+    Shared (non-batched) arguments — weights, priors, grids — come from
+    one ``make_inputs`` call and are reused by every request, mirroring
+    a server that loads a model once; batched arguments are freshly
+    synthesized per request so every user sends different data.
+    """
+    base = wl.make_inputs(batch_size=1, seq_len=seq_len, seed=STATE_SEED)
+    spec = get_batch_spec(wl.name)
+    if spec is None:
+        return [wl.make_inputs(batch_size=1, seq_len=seq_len,
+                               seed=DATA_SEED0 + i) for i in range(count)]
+    out: List[tuple] = []
+    for i in range(count):
+        fresh = wl.make_inputs(batch_size=1, seq_len=seq_len,
+                               seed=DATA_SEED0 + i)
+        out.append(tuple(
+            fresh[k] if axis is not None else base[k]
+            for k, axis in enumerate(spec.arg_axes)))
+    return out
+
+
+def run_load(wl: Workload, args_pool: List[tuple], policy: ServePolicy,
+             requests: int, concurrency: int, pipeline: str,
+             platform: str, warmup: int) -> Dict[str, object]:
+    """One closed-loop run; returns stats + throughput."""
+    server = Server(policy)
+    responses: List[Optional[Response]] = [None] * requests
+    counter = {"next": 0}
+    lock = threading.Lock()
+
+    try:
+        # warmup: populate the compile cache for the shapes the steady
+        # state will see, so throughput is not dominated by cold compiles
+        warm = [server.submit(wl, args=args_pool[i % len(args_pool)],
+                              pipeline=pipeline, platform=platform)
+                for i in range(warmup)]
+        for f in warm:
+            f.result()
+
+        def client() -> None:
+            while True:
+                with lock:
+                    i = counter["next"]
+                    if i >= requests:
+                        return
+                    counter["next"] = i + 1
+                fut = server.submit(wl, args=args_pool[i % len(args_pool)],
+                                    pipeline=pipeline, platform=platform)
+                responses[i] = fut.result()
+
+        threads = [threading.Thread(target=client, name=f"client-{i}")
+                   for i in range(concurrency)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+    finally:
+        server.shutdown(drain=True)
+
+    stats = server.stats.to_dict()
+    ok = sum(1 for r in responses if r is not None and r.ok)
+    dropped = requests - ok
+    diverged = sum(1 for r in responses
+                   if r is not None and r.verified is False)
+    mean_batch = (sum(int(k) * v for k, v in
+                      stats["batch_size_hist"].items())
+                  / max(1, stats["batches_executed"]))
+    return {
+        "requests": requests,
+        "wall_s": wall,
+        "throughput_rps": requests / wall if wall > 0 else 0.0,
+        "ok": ok,
+        "dropped": dropped,
+        "diverged": diverged,
+        "mean_batch_requests": mean_batch,
+        "server": stats,
+    }
+
+
+def bench_workload(name: str, args: argparse.Namespace
+                   ) -> Dict[str, object]:
+    """Benchmark one workload: batched policy vs max_batch_size=1."""
+    wl = get_workload(name)
+    pool = build_request_args(wl, args.seq_len, args.distinct_inputs)
+    common = dict(workers=args.workers, batch_wait_s=args.batch_wait_ms / 1e3,
+                  queue_capacity=args.queue_capacity,
+                  request_timeout_s=args.timeout_s,
+                  verify=("off" if args.no_verify else "batch"))
+    batched_policy = ServePolicy(max_batch_size=args.max_batch, **common)
+    baseline_policy = ServePolicy(max_batch_size=1, **common)
+
+    batched = run_load(wl, pool, batched_policy, args.requests,
+                       args.concurrency, args.pipeline, args.platform,
+                       warmup=args.warmup)
+    baseline = run_load(wl, pool, baseline_policy, args.requests,
+                        args.concurrency, args.pipeline, args.platform,
+                        warmup=min(args.warmup, args.max_batch))
+    speedup = (batched["throughput_rps"] / baseline["throughput_rps"]
+               if baseline["throughput_rps"] else float("inf"))
+    return {"workload": name, "batched": batched, "baseline": baseline,
+            "throughput_speedup": speedup}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns dropped + diverging request count."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.serve_bench",
+        description="closed-loop serving benchmark: dynamic batching "
+                    "vs batch-size-1 serving")
+    parser.add_argument("--workloads", type=str, default="lstm,attention")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="requests per workload per mode")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client threads")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker threads")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--batch-wait-ms", type=float, default=4.0)
+    parser.add_argument("--seq-len", type=int, default=16)
+    parser.add_argument("--pipeline", type=str, default="tensorssa")
+    parser.add_argument("--platform", type=str, default="datacenter")
+    parser.add_argument("--distinct-inputs", type=int, default=32,
+                        help="distinct request payloads cycled through")
+    parser.add_argument("--warmup", type=int, default=16,
+                        help="untimed warmup requests per mode")
+    parser.add_argument("--queue-capacity", type=int, default=512)
+    parser.add_argument("--timeout-s", type=float, default=120.0,
+                        help="per-request deadline")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the eager bit-exactness oracle")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless some workload's batched "
+                             "throughput beats baseline by this factor")
+    parser.add_argument("--out", type=str,
+                        default="results/serve_bench.json")
+    args = parser.parse_args(argv)
+
+    names = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    report = {
+        "config": {k: v for k, v in vars(args).items() if k != "out"},
+        "workloads": [],
+    }
+    failures = 0
+    for name in names:
+        print(f"[{name}] {args.requests} requests x {args.concurrency} "
+              f"clients, max_batch={args.max_batch} "
+              f"(pipeline={args.pipeline})")
+        entry = bench_workload(name, args)
+        report["workloads"].append(entry)
+        for mode in ("batched", "baseline"):
+            e = entry[mode]
+            failures += e["dropped"] + e["diverged"]
+            print(f"  {mode:<9} {e['throughput_rps']:8.1f} req/s  "
+                  f"p50 {e['server']['latency_p50_ms']:7.1f}ms  "
+                  f"p95 {e['server']['latency_p95_ms']:7.1f}ms  "
+                  f"mean batch {e['mean_batch_requests']:.2f}  "
+                  f"cache hit {e['server']['cache_hit_rate']:.0%}  "
+                  f"dropped {e['dropped']}  diverged {e['diverged']}")
+        print(f"  speedup   {entry['throughput_speedup']:.2f}x")
+
+    best = max((e["throughput_speedup"] for e in report["workloads"]),
+               default=0.0)
+    report["best_speedup"] = best
+    report["failures"] = failures
+    if args.min_speedup is not None and best < args.min_speedup:
+        print(f"FAIL: best speedup {best:.2f}x < required "
+              f"{args.min_speedup:.2f}x")
+        failures += 1
+        report["failures"] = failures
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nbest speedup {best:.2f}x, {failures} failure(s); "
+          f"wrote {out}")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

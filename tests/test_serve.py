@@ -1,0 +1,319 @@
+"""Serving layer: batcher units, server behavior, policies, oracles."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro.runtime as rt
+from repro.models import Workload, get_workload
+from repro.serve import (BatchSpec, ServePolicy, Server, coalesce,
+                         get_batch_spec, group_key, scatter)
+from repro.serve.batching import request_rows
+from repro.serve.executor import BatchExecutor
+from repro.serve.request import Request
+from repro.serve.stats import ServerStats
+from repro.eval.harness import CompileCache
+
+
+def make_request(workload="lstm", seq_len=8, seed=0, base=None,
+                 pipeline="tensorssa", platform="datacenter",
+                 deadline=None):
+    """A Request with optionally shared model state from ``base``."""
+    wl = get_workload(workload)
+    args = wl.make_inputs(batch_size=1, seq_len=seq_len, seed=seed)
+    spec = get_batch_spec(wl.name)
+    if base is not None and spec is not None:
+        args = tuple(args[i] if ax is not None else base[i]
+                     for i, ax in enumerate(spec.arg_axes))
+    return Request(workload=wl, pipeline=pipeline, platform=platform,
+                   args=tuple(args), batch_rows=request_rows(spec, args),
+                   deadline=deadline)
+
+
+def shared_base(workload="lstm", seq_len=8):
+    return get_workload(workload).make_inputs(batch_size=1,
+                                              seq_len=seq_len, seed=0)
+
+
+class TestGroupKey:
+    def test_shared_state_and_shapes_coalesce(self):
+        base = shared_base()
+        a = make_request(seed=1, base=base)
+        b = make_request(seed=2, base=base)
+        assert group_key(a) == group_key(b)
+
+    def test_different_seq_len_splits(self):
+        base = shared_base(seq_len=8)
+        a = make_request(seq_len=8, base=base)
+        b = make_request(seq_len=16)
+        assert group_key(a) != group_key(b)
+
+    def test_different_weights_split(self):
+        # distinct weight tensors = distinct models: never coalesce
+        a = make_request(seed=1)
+        b = make_request(seed=2)
+        assert group_key(a) != group_key(b)
+
+    def test_different_pipeline_platform_split(self):
+        base = shared_base()
+        a = make_request(base=base, pipeline="tensorssa")
+        b = make_request(base=base, pipeline="eager")
+        c = make_request(base=base, platform="consumer")
+        assert len({group_key(a), group_key(b), group_key(c)}) == 3
+
+    def test_unspecced_workload_is_solo(self):
+        a = make_request("yolact", seed=1)
+        b = make_request("yolact", seed=1)
+        assert get_batch_spec("yolact") is None
+        assert group_key(a) != group_key(b)  # unique per request
+
+
+class TestCoalesceScatter:
+    def test_single_request_passthrough(self):
+        req = make_request()
+        plan = coalesce([req])
+        assert plan.args is req.args
+        assert plan.segments == [(0, 1)]
+
+    def test_segments_and_composed_shapes(self):
+        base = shared_base()
+        reqs = [make_request(seed=s, base=base) for s in (1, 2, 3)]
+        plan = coalesce(reqs)
+        assert plan.segments == [(0, 1), (1, 2), (2, 3)]
+        assert plan.total_rows == 3
+        x, wx = plan.args[0], plan.args[1]
+        assert x.shape[1] == 3          # (T, B, D): batch axis 1
+        assert wx is base[1]            # shared weights pass through
+
+    def test_scatter_roundtrip_is_exact(self):
+        base = shared_base("attention", seq_len=8)
+        reqs = [make_request("attention", seed=s, base=base)
+                for s in (1, 2)]
+        plan = coalesce(reqs)
+        wl = get_workload("attention")
+        outs = wl.model_fn(*plan.args)
+        per_req = scatter(outs, plan)
+        assert len(per_req) == 2
+        for i, outs_i in enumerate(per_req):
+            # slices must exactly equal the corresponding batch rows
+            assert outs_i[0].shape[0] == 1
+            np.testing.assert_array_equal(
+                outs_i[0].numpy(), outs[0].numpy()[[i]])
+
+    def test_mixed_row_counts(self):
+        wl = get_workload("attention")
+        base = shared_base("attention", seq_len=8)
+        r1 = make_request("attention", seed=1, base=base)
+        a2 = wl.make_inputs(batch_size=3, seq_len=8, seed=2)
+        spec = get_batch_spec("attention")
+        r2 = Request(workload=wl, pipeline="tensorssa",
+                     platform="datacenter", args=a2,
+                     batch_rows=request_rows(spec, a2))
+        assert r2.batch_rows == 3
+        plan = coalesce([r1, r2])
+        assert plan.segments == [(0, 1), (1, 4)]
+        assert plan.args[0].shape[0] == 4
+
+
+class TestServerBasics:
+    def test_submit_solo_bit_exact_vs_eager(self):
+        wl = get_workload("attention")
+        args = wl.make_inputs(batch_size=1, seq_len=8, seed=3)
+        expected = wl.model_fn(*tuple(a.clone() for a in args))
+        with Server(ServePolicy(workers=1, max_batch_size=1,
+                                verify="solo")) as srv:
+            resp = srv.submit("attention", args=args).result(timeout=60)
+        assert resp.ok and resp.served_by == "tensorssa"
+        assert resp.verified is True
+        for got, exp in zip(resp.outputs, expected):
+            np.testing.assert_array_equal(got.numpy(), exp.numpy())
+
+    def test_requests_coalesce_into_batches(self):
+        base = shared_base(seq_len=8)
+        wl = get_workload("lstm")
+        pol = ServePolicy(workers=1, max_batch_size=4, batch_wait_s=0.05,
+                          verify="batch")
+        with Server(pol) as srv:
+            futs = []
+            for s in range(4):
+                a = wl.make_inputs(batch_size=1, seq_len=8, seed=10 + s)
+                args = (a[0],) + base[1:4] + (a[4], a[5])
+                futs.append(srv.submit("lstm", args=args))
+            rs = [f.result(timeout=60) for f in futs]
+        assert all(r.ok for r in rs)
+        assert any(r.batch_requests > 1 for r in rs)
+        assert all(r.verified is True for r in rs)
+
+    def test_partial_batch_flushes_on_timeout(self):
+        # fewer requests than max_batch_size must still be served once
+        # the oldest has waited batch_wait_s
+        pol = ServePolicy(workers=1, max_batch_size=64,
+                          batch_wait_s=0.01)
+        with Server(pol) as srv:
+            start = time.monotonic()
+            resp = srv.submit("attention", seq_len=8).result(timeout=60)
+            elapsed = time.monotonic() - start
+        assert resp.ok
+        assert resp.batch_requests == 1
+        assert elapsed < 30.0
+
+    def test_submit_many(self):
+        with Server(ServePolicy(workers=2, max_batch_size=2)) as srv:
+            futs = srv.submit_many(
+                {"workload": "attention", "seq_len": 8, "seed": s}
+                for s in range(3))
+            rs = [f.result(timeout=60) for f in futs]
+        assert [r.ok for r in rs] == [True] * 3
+
+    def test_stats_surface(self):
+        srv = Server(ServePolicy(workers=2, max_batch_size=4,
+                                 verify="batch"))
+        try:
+            futs = [srv.submit("attention", seq_len=8, seed=s)
+                    for s in range(6)]
+            for f in futs:
+                assert f.result(timeout=60).ok
+        finally:
+            srv.shutdown()
+        s = srv.stats.to_dict()
+        assert s["submitted"] == 6 and s["completed"] == 6
+        assert s["errors"] == 0 and s["diverged"] == 0
+        assert sum(int(k) * v for k, v in s["batch_size_hist"].items()) == 6
+        assert s["latency_p95_ms"] >= s["latency_p50_ms"] >= 0.0
+        assert s["compile_cache"]["epoch"] == 0
+        assert 0.0 <= s["cache_hit_rate"] <= 1.0
+
+
+def _unscriptable_model(x):
+    # numpy round-trip: runs fine eagerly, but the frontend cannot
+    # script it (np is not a registered op namespace)
+    arr = x.numpy() * 2.0
+    return rt.from_numpy(arr)
+
+
+UNSCRIPTABLE = Workload(
+    name="unscriptable", domain="module", model_fn=_unscriptable_model,
+    make_inputs=lambda batch_size=1, seq_len=8, seed=0:
+        (get_workload("attention").make_inputs(batch_size, seq_len,
+                                               seed)[0],))
+
+
+class TestRobustnessPolicies:
+    def test_fallback_to_eager_on_compile_failure(self):
+        pol = ServePolicy(workers=1, max_batch_size=1, verify="solo")
+        with Server(pol) as srv:
+            resp = srv.submit(UNSCRIPTABLE, seq_len=8).result(timeout=60)
+        assert resp.ok and resp.served_by == "eager"
+        assert resp.verified is True
+        assert srv.stats.fallbacks == 1
+
+    def test_compile_failure_without_fallback_errors(self):
+        pol = ServePolicy(workers=1, max_batch_size=1,
+                          eager_fallback=False, max_retries=0)
+        with Server(pol) as srv:
+            resp = srv.submit(UNSCRIPTABLE, seq_len=8).result(timeout=60)
+        assert resp.status == "error"
+
+    def test_expired_request_times_out_without_running(self):
+        stats = ServerStats()
+        ex = BatchExecutor(ServePolicy(), CompileCache(), stats)
+        req = make_request("attention",
+                           deadline=time.monotonic() - 1.0)
+        ex.execute([req])
+        resp = req.future.result(timeout=5)
+        assert resp.status == "timeout"
+        assert stats.timeouts == 1
+
+    def test_deadline_near_skips_cold_compile(self):
+        # no cached artifact + deadline inside the slack window -> the
+        # executor serves eagerly instead of starting a cold compile
+        stats = ServerStats()
+        pol = ServePolicy(deadline_slack_s=10.0, verify="solo")
+        ex = BatchExecutor(pol, CompileCache(), stats)
+        req = make_request("attention",
+                           deadline=time.monotonic() + 1.0)
+        ex.execute([req])
+        resp = req.future.result(timeout=30)
+        assert resp.ok and resp.served_by == "eager"
+        assert stats.fallbacks == 1
+
+    def test_backpressure_rejects_when_full(self):
+        release = threading.Event()
+        pol = ServePolicy(workers=1, max_batch_size=1, queue_capacity=1,
+                          reject_on_full=True, batch_wait_s=0.0)
+        srv = Server(pol)
+        original = srv.executor.execute
+
+        def blocking_execute(batch):
+            release.wait(30)
+            original(batch)
+
+        srv.executor.execute = blocking_execute
+        try:
+            first = srv.submit("attention", seq_len=8)   # worker blocks
+            time.sleep(0.1)                              # worker took it
+            second = srv.submit("attention", seq_len=8)  # fills queue
+            third = srv.submit("attention", seq_len=8)   # rejected
+            resp3 = third.result(timeout=5)
+            assert resp3.status == "rejected"
+            assert srv.stats.rejected == 1
+            release.set()
+            assert first.result(timeout=60).ok
+            assert second.result(timeout=60).ok
+        finally:
+            release.set()
+            srv.shutdown()
+
+    def test_shutdown_no_drain_cancels_queued(self):
+        release = threading.Event()
+        pol = ServePolicy(workers=1, max_batch_size=1, batch_wait_s=0.0)
+        srv = Server(pol)
+        original = srv.executor.execute
+
+        def blocking_execute(batch):
+            release.wait(30)
+            original(batch)
+
+        srv.executor.execute = blocking_execute
+        first = srv.submit("attention", seq_len=8)
+        time.sleep(0.1)
+        queued = srv.submit("attention", seq_len=8)
+        release.set()
+        srv.shutdown(drain=False)
+        assert queued.result(timeout=5).status == "cancelled"
+        assert first.result(timeout=60).status in ("ok", "cancelled")
+        with pytest.raises(RuntimeError):
+            srv.submit("attention", seq_len=8)
+
+
+class TestFuzzOracleThroughServer:
+    """Fuzz-generated programs served end to end: the differential
+    oracle's bit-exactness contract must survive the serving path."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_generated_program_served_bit_exact(self, seed):
+        from repro.fuzz import generate_program, materialize
+        from repro.fuzz.generator import make_inputs as fuzz_inputs
+
+        program = generate_program(seed, max_nodes=64)
+        fn = materialize(program.source, program.name)
+        x_data, variants = fuzz_inputs(seed)
+        flag, n = variants[0]
+        wl = Workload(name=f"fuzz{seed}", domain="module", model_fn=fn,
+                      make_inputs=lambda **kw: (rt.from_numpy(x_data),
+                                                flag, n))
+        expected = fn(rt.from_numpy(x_data.copy()), flag, n)
+        pol = ServePolicy(workers=2, max_batch_size=4, verify="solo")
+        with Server(pol) as srv:
+            resp = srv.submit(
+                wl, args=(rt.from_numpy(x_data.copy()), flag, n),
+                pipeline="tensorssa").result(timeout=120)
+        assert resp.ok, resp.error
+        assert resp.verified is True
+        got = resp.outputs
+        exp = expected if isinstance(expected, tuple) else (expected,)
+        assert len(got) == len(exp)
+        for g, e in zip(got, exp):
+            np.testing.assert_array_equal(g.numpy(), e.numpy())
