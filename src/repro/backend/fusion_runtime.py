@@ -21,10 +21,12 @@ from typing import Callable, List, Sequence
 
 import numpy as np
 
+from ..faults import SITE_FUSION_COMPILE, maybe_inject
 from ..ir.graph import Node
 from ..runtime import profiler
 from ..runtime.tensor import Tensor
 from .codegen import compile_block
+from .kernels import execute_kernel, pre_launch
 
 #: Guards lazy per-node kernel compilation: compiled graphs are shared
 #: by concurrent serving workers, and without the lock two threads that
@@ -34,12 +36,19 @@ _kernel_lock = threading.Lock()
 
 
 def _node_kernel(node: Node, build: Callable[[], object]) -> object:
-    """The node's cached kernel, compiling once under the lock."""
+    """The node's cached kernel, compiling once under the lock.
+
+    Also the ``fusion_compile`` fault checkpoint: an injected
+    :class:`~repro.errors.CompileError` raises before ``attrs`` is
+    touched, so the node simply stays uncompiled — a later execution
+    (e.g. on a retried rung) compiles it cleanly.
+    """
     kernel = node.attrs.get("kernel")
     if kernel is None:
         with _kernel_lock:
             kernel = node.attrs.get("kernel")
             if kernel is None:
+                maybe_inject(SITE_FUSION_COMPILE, node.op)
                 kernel = build()
                 node.attrs["kernel"] = kernel
     return kernel
@@ -73,7 +82,8 @@ def execute_group(node: Node, inputs: Sequence[object]) -> List[object]:
     """Run a ``prim::FusionGroup``: compile-once, launch-once."""
     kernel = _node_kernel(
         node, lambda: compile_block(node.blocks[0], name="_fusion"))
-    raw = kernel([_unwrap(x) for x in inputs])
+    raw = execute_kernel(kernel, [_unwrap(x) for x in inputs],
+                         "fusion_group")
     outputs = [_wrap(r) for r in raw]
     n_ops = node.attrs.get("num_member_ops", len(node.blocks[0].nodes))
     out_elems = sum(o.numel for o in outputs if isinstance(o, Tensor))
@@ -106,6 +116,7 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
 
     state = [_unwrap(c) for c in carried]
     caps = [_unwrap(c) for c in captures]
+    pre_launch("parallel_loop")  # one launch covers every iteration
     i = 0
     alive = bool(cond)
     while alive and i < max_trip:
@@ -131,6 +142,7 @@ def run_parallel_map(node: Node, inputs: List[object]) -> List[object]:
     kernel = _node_kernel(node, lambda: compile_block(body, name="_pmap"))
     trip = int(inputs[0])
     caps = [_unwrap(c) for c in inputs[1:]]
+    pre_launch("parallel_map")  # one launch covers the whole map
     per_iter = [kernel([i] + caps) for i in range(trip)]
     outputs = [_wrap(np.stack([r[k] for r in per_iter]))
                for k in range(len(body.returns))]

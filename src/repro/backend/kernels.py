@@ -3,11 +3,32 @@
 These run *inside* a fusion group: no Tensor wrapping, no launch
 recording — the whole group is one launch.  Semantics must match the
 eager runtime exactly (fused == unfused is asserted by tests).
+
+:func:`pre_launch` is the device-handoff fault checkpoint for compiled
+kernels: it runs once per launch, *before* any member op computes, so
+an injected :class:`~repro.errors.KernelError` models the launch
+itself failing (no partial group output exists).  Eager/interpreted
+launches check the same site in ``runtime/profiler.record_launch``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..faults import SITE_KERNEL_LAUNCH, maybe_inject
+
+
+def pre_launch(op: str) -> None:
+    """``kernel_launch`` fault checkpoint at the moment a compiled
+    kernel is handed to the (simulated) device."""
+    maybe_inject(SITE_KERNEL_LAUNCH, op)
+
+
+def execute_kernel(kernel, args, op: str):
+    """Run one compiled kernel as one device launch, through the fault
+    layer (failure raises before compute; latency sleeps before it)."""
+    pre_launch(op)
+    return kernel(args)
 
 
 def _f32(out, *ins):

@@ -31,6 +31,7 @@ atomically.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import OrderedDict
@@ -157,18 +158,25 @@ class CompileCache:
             if not owner:
                 flight.event.wait()
                 continue  # re-check: hit on success, own miss on error
+            # The in-flight slot is released and its event set on EVERY
+            # exit path (including put() failing), or waiters would
+            # block forever on an event that never fires — the torn
+            # state the StateAuditor checks for.
             try:
                 compiled = factory()
-            except BaseException:
+                self.put(key, compiled)
+            finally:
                 with self._lock:
                     self._inflight.pop(key, None)
                 flight.event.set()
-                raise
-            self.put(key, compiled)
-            with self._lock:
-                self._inflight.pop(key, None)
-            flight.event.set()
             return compiled, False
+
+    def inflight_count(self) -> int:
+        """Compilations currently owned by some thread.  Zero at
+        quiescence — a nonzero count with no compile running means a
+        leaked slot (the StateAuditor asserts on this)."""
+        with self._lock:
+            return len(self._inflight)
 
     def snapshot(self) -> CacheStats:
         """All counters plus the epoch, read atomically."""
@@ -217,6 +225,13 @@ class RunResult:
     cache_hit: bool = False
     cache_epoch: int = 0
     wallclock_s: Optional[float] = None
+    #: degradation-ladder observability (``run_workload_resilient``):
+    #: which rung actually served the run, how far down the chain it
+    #: sat, and how many executions were attempted in total
+    served_by: str = ""
+    fallback_depth: int = 0
+    degraded: bool = False
+    attempts: int = 1
     outputs: tuple = field(default=(), repr=False)
 
     @property
@@ -323,8 +338,75 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
         cache_hit=was_hit,
         cache_epoch=snap.epoch,
         wallclock_s=wallclock,
+        served_by=pipeline,
         outputs=outputs if isinstance(outputs, tuple) else (outputs,),
     )
+
+
+def run_workload_resilient(workload: str, pipeline: str = "tensorssa",
+                           platform: str = "datacenter",
+                           batch_size: int = 1, seq_len: int = 64,
+                           seed: int = 0, check: bool = False,
+                           cache: Optional[CompileCache] = None,
+                           ladder: Optional[Tuple[str, ...]] = None,
+                           breakers=None, retry=None,
+                           retry_rng=None) -> RunResult:
+    """``run_workload`` behind the graceful-degradation ladder.
+
+    Walks the ordered fallback chain for ``pipeline`` (see
+    :func:`repro.degrade.fallback_chain`): each rung is guarded by a
+    per-(workload, rung) circuit breaker and gets bounded retries with
+    jittered exponential backoff for *retryable* faults (kernel
+    launches, OOM); non-retryable faults (compile errors) descend
+    immediately.  The result reports ``served_by``, ``fallback_depth``
+    and ``degraded`` so callers can see when they got the slow-but-safe
+    answer.  With no faults the first rung serves at depth 0 and the
+    result is bit-exact with a plain ``run_workload`` call.
+
+    Raises the last (typed) error when every rung fails or is
+    breaker-open.
+    """
+    from .. import degrade
+    from ..errors import classify, is_retryable
+
+    chain = degrade.fallback_chain(pipeline, ladder=ladder)
+    breakers = breakers if breakers is not None \
+        else degrade.default_breakers()
+    retry = retry if retry is not None else degrade.RetryPolicy()
+    rng = retry_rng if retry_rng is not None else random.Random(seed)
+
+    attempts = 0
+    last_error: Optional[BaseException] = None
+    for depth, rung in enumerate(chain):
+        breaker = breakers.breaker(workload, rung)
+        if not breaker.allow():
+            continue  # rung is circuit-broken: descend without a call
+        for retry_index in range(retry.max_retries + 1):
+            attempts += 1
+            try:
+                result = run_workload(
+                    workload, rung, platform=platform,
+                    batch_size=batch_size, seq_len=seq_len, seed=seed,
+                    check=check, cache=cache)
+            except Exception as exc:
+                breaker.record_failure()
+                last_error = classify(exc)
+                if not is_retryable(exc) \
+                        or retry_index >= retry.max_retries:
+                    break  # descend the ladder
+                time.sleep(retry.delay_s(retry_index, rng))
+                continue
+            breaker.record_success()
+            result.served_by = rung
+            result.fallback_depth = depth
+            result.degraded = depth > 0
+            result.attempts = attempts
+            return result
+    if last_error is None:
+        last_error = RuntimeError(
+            f"{workload}/{pipeline}: every ladder rung {chain} is "
+            f"circuit-broken")
+    raise last_error
 
 
 def speedup_over_eager(workload: str, pipeline: str, **kwargs) -> float:

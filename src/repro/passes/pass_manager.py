@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Tuple
 
+from ..faults import SITE_PASS, maybe_inject
 from ..ir import verify
 from ..ir.graph import Graph
 
@@ -62,6 +63,10 @@ class PassManager:
         results = {}
         metrics: List[PassMetric] = []
         for name, fn in self.passes:
+            # the "pass" fault checkpoint: an injected CompileError
+            # raises before the pass mutates the graph, so the caller
+            # sees a clean compile failure, not a half-transformed IR
+            maybe_inject(SITE_PASS, name)
             nodes_before = _count_nodes(graph)
             start = time.perf_counter()
             results[name] = fn(graph)

@@ -27,6 +27,14 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
+from ..faults import SITE_KERNEL_LAUNCH, maybe_inject
+
+#: Launch kinds whose fault checkpoint already ran *before* compute in
+#: ``backend/kernels.pre_launch`` — record_launch must not double-hit
+#: the ``kernel_launch`` site for them.
+_PRECHECKED_OPS = frozenset(
+    {"fusion_group", "parallel_loop", "parallel_map"})
+
 
 @dataclass
 class KernelEvent:
@@ -171,7 +179,17 @@ def profile() -> Iterator[Profile]:
 
 def record_launch(op: str, nbytes: int = 0, flops: int = 0,
                   fused_ops: int = 1) -> None:
-    """Record one kernel launch on every active profile."""
+    """Record one kernel launch on every active profile.
+
+    Also the ``kernel_launch`` fault checkpoint for interpreted and
+    eager launches: an injected :class:`~repro.errors.KernelError`
+    raises *here* (before the event is recorded — a failed launch did
+    not run), and injected latency sleeps here.  Compiled fused kernels
+    check the same site pre-compute in ``backend/kernels.pre_launch``
+    instead.
+    """
+    if op not in _PRECHECKED_OPS:
+        maybe_inject(SITE_KERNEL_LAUNCH, op)
     for prof in _stack_var.get():
         prof.events.append(KernelEvent(op, int(nbytes), int(flops), fused_ops))
 

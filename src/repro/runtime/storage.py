@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import profiler
+from ..faults import SITE_ALLOC, maybe_inject
 
 _storage_ids = itertools.count()
 
@@ -108,10 +109,17 @@ class MemoryPool:
     # -- allocation ------------------------------------------------------
 
     def allocate(self, nbytes: int) -> bool:
-        """Serve one request; returns True when a free block was reused."""
+        """Serve one request; returns True when a free block was reused.
+
+        The ``alloc`` fault checkpoint: an injected simulated OOM
+        (:class:`~repro.errors.OOMError`) raises before any accounting
+        mutates, so a failed allocation never tears ``in_use_bytes`` or
+        the free lists.
+        """
         nbytes = int(nbytes)
         if nbytes <= 0:
             return False
+        maybe_inject(SITE_ALLOC, str(nbytes))
         block = self._take_block(nbytes)
         self.in_use_bytes += nbytes
         if block is not None:
@@ -187,6 +195,13 @@ def current_pool() -> Optional[MemoryPool]:
     """The innermost installed pool, or None outside any pool scope."""
     stack = _active_pool.get()
     return stack[-1] if stack else None
+
+
+def active_pools() -> Tuple["MemoryPool", ...]:
+    """The context's pool-scope stack, outermost first (read-only view;
+    the :class:`repro.faults.StateAuditor` checks its depth returns to
+    baseline after failures)."""
+    return _active_pool.get()
 
 
 @contextmanager

@@ -20,6 +20,10 @@ Quick start::
 Load-test it with ``python -m repro.tools.serve_bench``.
 """
 
+from ..degrade import (CircuitBreaker, DEFAULT_LADDER, RetryPolicy,
+                       fallback_chain)
+from ..errors import (CompileError, DeadlineExceeded, KernelError,
+                      OOMError, ServerShutdown)
 from .batching import (BATCH_SPECS, BatchPlan, BatchSpec, coalesce,
                        get_batch_spec, group_key, scatter)
 from .executor import BatchExecutor
@@ -36,4 +40,7 @@ __all__ = [
     "group_key", "coalesce", "scatter", "percentile",
     "STATUS_OK", "STATUS_TIMEOUT", "STATUS_ERROR", "STATUS_REJECTED",
     "STATUS_CANCELLED", "VERIFY_OFF", "VERIFY_BATCH", "VERIFY_SOLO",
+    "CircuitBreaker", "DEFAULT_LADDER", "RetryPolicy", "fallback_chain",
+    "CompileError", "DeadlineExceeded", "KernelError", "OOMError",
+    "ServerShutdown",
 ]

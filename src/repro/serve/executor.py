@@ -13,25 +13,42 @@ Robustness ladder (policy-controlled):
    time spent;
 2. no cached artifact and the deadline is within ``deadline_slack_s``
    -> serve eagerly (skip the cold compile);
-3. compilation raises -> serve the whole batch eagerly;
-4. batch execution raises -> each request retries solo (eagerly), up to
-   ``max_retries`` attempts, isolating poison requests;
+3. compilation raises (a typed :class:`~repro.errors.CompileError`) ->
+   with ``ladder_enabled``, descend the graceful-degradation chain
+   (``repro.degrade``): each rung is guarded by a per-(workload, rung)
+   circuit breaker, retryable faults get bounded jittered-backoff
+   retries, and the eager floor serves solo; without the ladder, the
+   whole batch falls back to eager directly;
+4. batch execution raises -> same ladder descent (or, ladder off, each
+   request retries solo eagerly up to ``max_retries``, isolating
+   poison requests); :class:`~repro.errors.DeadlineExceeded` is never
+   retried — it answers as a timeout immediately;
 5. verification (optional): "batch" demands bit-exact agreement with
    eager on the identical coalesced inputs; "solo" compares each
    response to a solo eager run (allclose, since batching may change
    GEMM reduction order; bit-exact when the request ran unbatched).
+
+Crash-consistency contract: every request handed to ``execute`` gets
+its future resolved exactly once, whatever fails — the fault-injection
+chaos harness (``repro.tools.chaos``) drives this with a
+:class:`~repro.faults.StateAuditor` watching for torn state.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 import repro.runtime as rt
+from ..degrade import BreakerRegistry, RetryPolicy, fallback_chain
+from ..errors import (CompileError, DeadlineExceeded, classify,
+                      is_retryable)
 from ..eval.harness import CompileCache, clone_args, compile_key
 from ..eval.platforms import Platform, get_platform
+from ..faults import SITE_BATCH_EXEC, maybe_inject
 from ..pipelines import Pipeline, get_pipeline
 from .batching import BatchPlan, coalesce, scatter
 from .policy import VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO, ServePolicy
@@ -72,6 +89,17 @@ class BatchExecutor:
         self.stats = stats
         self._pipelines: Dict[str, Pipeline] = {}
         self._platforms: Dict[str, Platform] = {}
+        self.breakers = BreakerRegistry(
+            failure_rate=policy.breaker_failure_rate,
+            window=policy.breaker_window,
+            min_calls=policy.breaker_min_calls,
+            reset_timeout_s=policy.breaker_reset_s)
+        self._retry = RetryPolicy(
+            max_retries=policy.max_retries,
+            base_delay_s=policy.retry_base_delay_s,
+            max_delay_s=policy.retry_max_delay_s,
+            jitter=policy.retry_jitter)
+        self._rng = random.Random(policy.retry_seed)
 
     # -- lookups (memoized: one pipeline/platform object per name) ------
 
@@ -93,6 +121,27 @@ class BatchExecutor:
 
     def execute(self, requests: Sequence[Request]) -> None:
         """Serve a same-group batch: every request's future resolves."""
+        live = self._drop_expired(requests)
+        if not live:
+            return
+        self.stats.on_batch(len(live))
+        try:
+            if self.policy.ladder_enabled:
+                self._execute_ladder(live)
+            else:
+                plan = coalesce(live)
+                try:
+                    self._execute_plan(plan)
+                except DeadlineExceeded as exc:
+                    self._finish_timeout(plan.requests, str(exc))
+                except Exception as exc:  # batch path failed -> solo
+                    self._retry_solo(plan.requests, first_error=exc)
+        finally:
+            self.stats.set_cache_snapshot(self.cache.snapshot())
+            self.stats.set_breaker_transitions(self.breakers.transitions())
+
+    def _drop_expired(self, requests: Sequence[Request]) -> List[Request]:
+        """Answer already-expired members with a timeout; return the rest."""
         now = time.monotonic()
         live: List[Request] = []
         for req in requests:
@@ -100,25 +149,121 @@ class BatchExecutor:
                 self._finish(req, Response(
                     request_id=req.id, workload=req.workload.name,
                     pipeline=req.pipeline, platform=req.platform,
-                    status=STATUS_TIMEOUT, queue_wait_s=now - req.enqueued_at,
+                    status=STATUS_TIMEOUT,
+                    queue_wait_s=now - req.enqueued_at,
                     error="deadline expired before execution"))
             else:
                 live.append(req)
-        if not live:
-            return
-        self.stats.on_batch(len(live))
-        plan = coalesce(live)
-        try:
-            self._execute_plan(plan)
-        except Exception as exc:  # batch path failed -> solo retries
-            self._retry_solo(plan.requests, first_error=exc)
-        self.stats.set_cache_snapshot(self.cache.snapshot())
+        return live
+
+    def _finish_timeout(self, requests: Sequence[Request],
+                        detail: str) -> None:
+        now = time.monotonic()
+        for req in requests:
+            if req.future.done():
+                continue
+            self._finish(req, Response(
+                request_id=req.id, workload=req.workload.name,
+                pipeline=req.pipeline, platform=req.platform,
+                status=STATUS_TIMEOUT, queue_wait_s=now - req.enqueued_at,
+                error=f"deadline exceeded: {detail}"))
+
+    # -- graceful-degradation ladder ------------------------------------
+
+    def _execute_ladder(self, requests: List[Request]) -> None:
+        """Walk the fallback chain until some rung serves the batch."""
+        req0 = requests[0]
+        wl = req0.workload
+        chain = fallback_chain(req0.pipeline, self.policy.fallback_chain)
+        live = list(requests)
+        last_error: Optional[BaseException] = None
+        for depth, rung in enumerate(chain):
+            live = self._drop_expired(live)
+            if not live:
+                return
+            breaker = self.breakers.breaker(wl.name, rung)
+            if not breaker.allow():
+                continue  # circuit-broken rung: descend without a call
+            if rung == "eager":
+                self._serve_eager_rung(live, depth, breaker, last_error)
+                return
+            for retry_index in range(self.policy.max_retries + 1):
+                plan = coalesce(live)
+                try:
+                    self._execute_plan(plan, pipeline_name=rung,
+                                       depth=depth, ladder=True)
+                except DeadlineExceeded as exc:
+                    breaker.record_failure()
+                    self._finish_timeout(live, str(exc))
+                    return
+                except Exception as exc:
+                    err = classify(exc)
+                    breaker.record_failure()
+                    last_error = err
+                    if not is_retryable(err) \
+                            or retry_index >= self.policy.max_retries:
+                        break  # descend to the next rung
+                    time.sleep(self._retry.delay_s(retry_index, self._rng))
+                    continue
+                breaker.record_success()
+                return
+        # every rung failed or was circuit-broken: typed error per request
+        reason = "every ladder rung is circuit-broken" if last_error is None \
+            else f"{type(last_error).__name__}: {last_error}"
+        for req in live:
+            self._finish(req, Response(
+                request_id=req.id, workload=req.workload.name,
+                pipeline=req.pipeline, platform=req.platform,
+                status=STATUS_ERROR, served_by="",
+                fallback_depth=len(chain) - 1, degraded=True,
+                error=f"all ladder rungs {chain} failed: {reason}"),
+                fallback=True)
+
+    def _serve_eager_rung(self, requests: Sequence[Request], depth: int,
+                          breaker, last_error: Optional[BaseException]
+                          ) -> None:
+        """The ladder floor: serve each request solo eagerly, with
+        bounded jittered-backoff retries per request."""
+        for req in requests:
+            last = last_error
+            served = False
+            for retry_index in range(self.policy.max_retries + 1):
+                try:
+                    self._run_one_eager(req, retries=retry_index,
+                                        fallback=depth > 0, depth=depth)
+                    served = True
+                    break
+                except DeadlineExceeded as exc:
+                    self._finish_timeout([req], str(exc))
+                    served = True
+                    break
+                except Exception as exc:
+                    last = classify(exc)
+                    if not is_retryable(last) \
+                            or retry_index >= self.policy.max_retries:
+                        break
+                    time.sleep(self._retry.delay_s(retry_index, self._rng))
+            if served:
+                breaker.record_success()
+                continue
+            breaker.record_failure()
+            self._finish(req, Response(
+                request_id=req.id, workload=req.workload.name,
+                pipeline=req.pipeline, platform=req.platform,
+                status=STATUS_ERROR, served_by="eager",
+                fallback_depth=depth, degraded=depth > 0,
+                retries=self.policy.max_retries,
+                error=f"eager floor failed: "
+                      f"{type(last).__name__}: {last}"),
+                fallback=True)
 
     # -- main path ------------------------------------------------------
 
-    def _execute_plan(self, plan: BatchPlan) -> None:
+    def _execute_plan(self, plan: BatchPlan,
+                      pipeline_name: Optional[str] = None,
+                      depth: int = 0, ladder: bool = False) -> None:
         req0 = plan.requests[0]
-        pipe = self.pipeline(req0.pipeline)
+        pipe = self.pipeline(pipeline_name or req0.pipeline)
         wl = req0.workload
         key = compile_key(pipe, wl, plan.args)
 
@@ -131,11 +276,22 @@ class BatchExecutor:
                 key, lambda: pipe.compile(wl.model_fn,
                                           example_args=plan.args))
         except Exception as exc:
+            err = classify(exc)
+            if not isinstance(err, CompileError):
+                err = CompileError(f"{pipe.name} compilation failed: {exc}")
+                err.__cause__ = exc
+                err.injected = getattr(exc, "injected", False)
+            if ladder:
+                raise err from exc  # let the ladder descend a rung
             if not self.policy.eager_fallback:
                 raise
             self._run_eager_each(
                 plan.requests, reason=f"compile failed: {exc}")
             return
+
+        # the "batch_exec" fault checkpoint: a scheduled batch-execution
+        # failure raises here, after compilation but before device time
+        maybe_inject(SITE_BATCH_EXEC, f"{wl.name}/{pipe.name}")
 
         start = time.perf_counter()
         run_args = clone_args(plan.args)
@@ -157,12 +313,14 @@ class BatchExecutor:
                 request_id=req.id, workload=wl.name, pipeline=req.pipeline,
                 platform=req.platform, status=STATUS_OK,
                 served_by=pipe.name, outputs=outs,
+                fallback_depth=depth, degraded=depth > 0,
                 batch_requests=len(plan.requests),
                 batch_rows=plan.total_rows,
                 batch_latency_us=latency_us,
                 kernel_launches=prof.num_launches,
                 queue_wait_s=done - req.enqueued_at - wall,
-                exec_wall_s=wall, cache_hit=hit, verified=verified))
+                exec_wall_s=wall, cache_hit=hit, verified=verified),
+                fallback=depth > 0)
 
     def _should_skip_cold_compile(self, plan: BatchPlan, key: tuple) -> bool:
         """Deadline-near policy: don't start a cold compile when any
@@ -218,11 +376,14 @@ class BatchExecutor:
                     request_id=req.id, workload=req.workload.name,
                     pipeline=req.pipeline, platform=req.platform,
                     status=STATUS_ERROR, served_by="eager",
+                    fallback_depth=1, degraded=True,
                     error=f"{reason}; eager fallback failed: {exc}"),
                     fallback=True)
 
     def _run_one_eager(self, req: Request, retries: int,
-                       fallback: bool) -> None:
+                       fallback: bool, depth: Optional[int] = None) -> None:
+        if depth is None:
+            depth = 0 if req.pipeline == "eager" else 1
         start = time.perf_counter()
         run_args = clone_args(req.args)
         with rt.profile() as prof:
@@ -240,6 +401,7 @@ class BatchExecutor:
             request_id=req.id, workload=req.workload.name,
             pipeline=req.pipeline, platform=req.platform,
             status=STATUS_OK, served_by="eager", outputs=outs,
+            fallback_depth=depth, degraded=depth > 0,
             batch_requests=1, batch_rows=req.batch_rows,
             batch_latency_us=plat.latency_us(prof, "eager", 1.0),
             kernel_launches=prof.num_launches,
@@ -263,6 +425,7 @@ class BatchExecutor:
                     request_id=req.id, workload=req.workload.name,
                     pipeline=req.pipeline, platform=req.platform,
                     status=STATUS_ERROR, served_by="eager",
+                    fallback_depth=1, degraded=True,
                     retries=self.policy.max_retries,
                     error=f"batch failed ({first_error}); "
                           f"solo retries exhausted: {last}"),
@@ -277,6 +440,7 @@ class BatchExecutor:
             latency_s=max(0.0, time.monotonic() - req.enqueued_at),
             queue_wait_s=max(0.0, resp.queue_wait_s),
             cache_hit=resp.cache_hit, fallback=fallback,
-            retries=resp.retries, verified=resp.verified)
+            retries=resp.retries, verified=resp.verified,
+            fallback_depth=resp.fallback_depth, degraded=resp.degraded)
         if not req.future.done():
             req.future.set_result(resp)

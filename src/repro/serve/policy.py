@@ -12,6 +12,7 @@ compile) fall back to the eager pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 #: Verification modes (see executor.py for the oracle semantics).
 VERIFY_OFF = "off"
@@ -54,6 +55,26 @@ class ServePolicy:
     verify: str = VERIFY_OFF
     #: capacity of the server's private compile cache
     cache_capacity: int = 128
+    #: graceful-degradation ladder (repro.degrade): when enabled, a
+    #: failed batch descends the ordered fallback chain rung by rung
+    #: (with per-(workload, rung) circuit breakers and jittered retry
+    #: backoff) instead of dropping straight to solo eager retries
+    ladder_enabled: bool = False
+    #: the chain to walk; None = repro.degrade.DEFAULT_LADDER sliced
+    #: from the requested pipeline down
+    fallback_chain: Optional[Tuple[str, ...]] = None
+    #: circuit-breaker tuning (see repro.degrade.CircuitBreaker)
+    breaker_failure_rate: float = 0.5
+    breaker_window: int = 8
+    breaker_min_calls: int = 4
+    breaker_reset_s: float = 0.25
+    #: retry backoff tuning (see repro.degrade.RetryPolicy); the number
+    #: of in-rung retries reuses ``max_retries`` above
+    retry_base_delay_s: float = 0.001
+    retry_max_delay_s: float = 0.05
+    retry_jitter: float = 0.5
+    #: seed of the executor's jitter RNG (deterministic backoff in tests)
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.workers < 1:

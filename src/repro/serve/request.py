@@ -68,8 +68,13 @@ class Response:
     platform: str
     status: str
     #: pipeline that actually produced the outputs: the requested one,
-    #: or "eager" when the fallback policy kicked in
+    #: or a lower ladder rung when the fallback policy kicked in
     served_by: str = ""
+    #: how far down the degradation ladder the serving rung sat
+    #: (0 = the requested pipeline served it)
+    fallback_depth: int = 0
+    #: True when a rung below the requested pipeline served the request
+    degraded: bool = False
     outputs: Tuple = field(default=(), repr=False)
     #: how many requests / total batch rows rode in the same executed batch
     batch_requests: int = 0

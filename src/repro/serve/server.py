@@ -31,12 +31,13 @@ from collections import OrderedDict, deque
 from concurrent.futures import Future
 from typing import Deque, Dict, Iterable, List, Optional, Union
 
+from ..errors import ServerShutdown
 from ..eval.harness import CompileCache
 from ..models import Workload, get_workload
 from .batching import get_batch_spec, group_key, request_rows
 from .executor import BatchExecutor
 from .policy import ServePolicy
-from .request import (Request, Response, STATUS_CANCELLED,
+from .request import (Request, Response, STATUS_CANCELLED, STATUS_ERROR,
                       STATUS_REJECTED)
 from .stats import ServerStats
 
@@ -109,7 +110,7 @@ class Server:
     def _enqueue(self, req: Request) -> None:
         with self._cond:
             if self._closed:
-                raise RuntimeError("server is shut down")
+                raise ServerShutdown("server is shut down")
             if self._pending >= self.policy.queue_capacity:
                 if self.policy.reject_on_full:
                     self._reject(req)
@@ -122,7 +123,9 @@ class Server:
                         self._reject(req)
                         return
                 if self._closed:
-                    raise RuntimeError("server is shut down")
+                    raise ServerShutdown(
+                        "server shut down while the submit was waiting "
+                        "for queue space")
             key = group_key(req)
             queue = self._groups.get(key)
             if queue is None:
@@ -181,7 +184,24 @@ class Server:
             batch = self._take_batch()
             if batch is None:
                 return
-            self.executor.execute(batch)
+            try:
+                self.executor.execute(batch)
+            except Exception as exc:
+                # A worker must never die holding unresolved futures:
+                # whatever slipped past the executor's own handling is
+                # scattered to the batch as typed error responses, and
+                # the worker survives to drain the next batch.
+                self._scatter_failure(batch, exc)
+
+    def _scatter_failure(self, batch: List[Request], exc: Exception) -> None:
+        for req in batch:
+            if req.future.done():
+                continue
+            req.future.set_result(Response(
+                request_id=req.id, workload=req.workload.name,
+                pipeline=req.pipeline, platform=req.platform,
+                status=STATUS_ERROR,
+                error=f"executor crashed: {type(exc).__name__}: {exc}"))
 
     # -- lifecycle ------------------------------------------------------
 
@@ -191,29 +211,49 @@ class Server:
 
     def shutdown(self, drain: bool = True,
                  timeout: Optional[float] = None) -> None:
-        """Stop intake; serve (``drain=True``) or cancel what is queued,
-        then join the workers."""
+        """Stop intake; serve (``drain=True``) or reject what is queued,
+        then join the workers.
+
+        Guarantee: no waiter blocks on a future that never resolves.
+        After the workers are joined (or the join times out), anything
+        still queued — requests a dead/stuck worker would have served —
+        is answered with a typed :class:`~repro.errors.ServerShutdown`
+        rejection instead of being left pending forever.
+        """
         with self._cond:
             if not drain:
-                cancelled = 0
-                for queue in self._groups.values():
-                    while queue:
-                        req = queue.popleft()
-                        cancelled += 1
-                        req.future.set_result(Response(
-                            request_id=req.id, workload=req.workload.name,
-                            pipeline=req.pipeline, platform=req.platform,
-                            status=STATUS_CANCELLED,
-                            error="server shut down"))
-                self._groups.clear()
-                self._pending = 0
-                if cancelled:
-                    self.stats.on_cancel(cancelled)
+                self._flush_queued(STATUS_CANCELLED, "server shut down")
             self._closed = True
             self._cond.notify_all()
         for t in self._workers:
             t.join(timeout)
+        with self._cond:
+            # drain=True normally leaves nothing here; a worker that
+            # died or outlived the join timeout does
+            self._flush_queued(
+                STATUS_CANCELLED,
+                str(ServerShutdown("server shut down before the request "
+                                   "was served")))
         self.stats.set_cache_snapshot(self.cache.snapshot())
+        self.stats.set_breaker_transitions(
+            self.executor.breakers.transitions())
+
+    def _flush_queued(self, status: str, error: str) -> None:
+        """Resolve every queued request's future (caller holds the lock)."""
+        cancelled = 0
+        for queue in self._groups.values():
+            while queue:
+                req = queue.popleft()
+                cancelled += 1
+                req.future.set_result(Response(
+                    request_id=req.id, workload=req.workload.name,
+                    pipeline=req.pipeline, platform=req.platform,
+                    status=status, error=error))
+        self._groups.clear()
+        self._pending = 0
+        if cancelled:
+            self.stats.on_cancel(cancelled)
+            self._cond.notify_all()
 
     def __enter__(self) -> "Server":
         return self

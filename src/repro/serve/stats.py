@@ -43,6 +43,13 @@ class ServerStats:
         self.retries = 0
         self.diverged = 0
         self.verified = 0
+        #: requests served by a rung below the one they asked for
+        self.degraded = 0
+        #: fallback depth -> request count (0 = requested rung served)
+        self.fallback_depth_hist: Dict[int, int] = {}
+        #: circuit-breaker transition counts ("closed->open": n), set
+        #: by the executor at snapshot time
+        self.breaker_transitions: Dict[str, int] = {}
         self.batches_executed = 0
         self.batch_size_hist: Dict[int, int] = {}
         self.queue_depth_peak = 0
@@ -76,7 +83,9 @@ class ServerStats:
     def on_response(self, status: str, latency_s: float,
                     queue_wait_s: float, cache_hit: bool,
                     fallback: bool, retries: int,
-                    verified: Optional[bool]) -> None:
+                    verified: Optional[bool],
+                    fallback_depth: int = 0,
+                    degraded: bool = False) -> None:
         with self._lock:
             if status == "ok":
                 self.completed += 1
@@ -86,6 +95,11 @@ class ServerStats:
                 self.errors += 1
             if fallback:
                 self.fallbacks += 1
+            if degraded:
+                self.degraded += 1
+            if status == "ok":
+                self.fallback_depth_hist[fallback_depth] = \
+                    self.fallback_depth_hist.get(fallback_depth, 0) + 1
             self.retries += retries
             if cache_hit:
                 self.cache_hits += 1
@@ -102,6 +116,10 @@ class ServerStats:
     def set_cache_snapshot(self, snap: CacheStats) -> None:
         with self._lock:
             self.cache_snapshot = snap
+
+    def set_breaker_transitions(self, transitions: Dict[str, int]) -> None:
+        with self._lock:
+            self.breaker_transitions = dict(transitions)
 
     # -- reading --------------------------------------------------------
 
@@ -132,6 +150,11 @@ class ServerStats:
                 "retries": self.retries,
                 "verified": self.verified,
                 "diverged": self.diverged,
+                "degraded": self.degraded,
+                "fallback_depth_hist": {str(k): v for k, v in
+                                        sorted(
+                                            self.fallback_depth_hist.items())},
+                "breaker_transitions": dict(self.breaker_transitions),
                 "batches_executed": self.batches_executed,
                 "batch_size_hist": {str(k): v for k, v in
                                     sorted(self.batch_size_hist.items())},

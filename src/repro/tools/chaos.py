@@ -1,0 +1,365 @@
+"""Chaos harness: seeded fault campaigns against the whole stack.
+
+``python -m repro.tools.chaos --seed 0 --campaigns 25`` derives a
+deterministic :class:`~repro.faults.FaultPlan` per campaign (primary
+injection site cycling through all five sites, plus extra random
+rules — errors and latency, one-shot and persistent) and drives it
+through two paths:
+
+* **harness campaigns** — ``run_workload_resilient`` calls under a
+  context-local ``fault_scope``, each result checked *bit-exact*
+  against a fault-free eager reference;
+* **serve campaigns** — a live :class:`~repro.serve.Server` (ladder
+  enabled, ``verify="batch"``) under a ``global_fault_scope`` so the
+  worker threads see the plan, every future awaited with a hang
+  timeout.
+
+The contract each campaign enforces is the paper-stack's availability
+discipline: every request either returns bit-exact-correct output
+(possibly served by a lower ladder rung) or a clean *typed* error —
+never a hang, a wrong answer, an untyped crash, or torn process state
+(a :class:`~repro.faults.StateAuditor` checks profiler/pool stacks and
+compile-cache in-flight slots after every campaign).  The first two
+campaigns run fault-free as controls and additionally demand fallback
+depth 0 and 100% availability.
+
+Writes ``results/chaos.json`` (availability %, fallback-depth
+histogram, per-site fault counts, breaker transitions).  Exit status is
+``hangs + torn audits + wrong answers + untyped errors + uncovered
+sites``, so CI gates on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..degrade import BreakerRegistry, RetryPolicy
+from ..errors import ReproError
+from ..eval.harness import CompileCache, run_workload, \
+    run_workload_resilient
+from ..faults import (ALL_SITES, Fault, FaultPlan, FaultRule,
+                      KIND_LATENCY, SITE_ALLOC, SITE_BATCH_EXEC,
+                      SITE_FUSION_COMPILE, SITE_KERNEL_LAUNCH, SITE_PASS,
+                      StateAuditor, fault_scope, global_fault_scope)
+from ..serve import ServePolicy, Server
+
+#: per-request data seeds start here (campaign c, request j -> BASE+17c+j)
+DATA_SEED0 = 50_000
+
+#: plausible hit-count ceilings per site for nth-based scheduling (a
+#: seq_len-8 lstm run performs dozens of launches/allocs but only a
+#: handful of passes/fusion compiles/batches)
+_MAX_NTH = {
+    SITE_KERNEL_LAUNCH: 60,
+    SITE_ALLOC: 40,
+    SITE_FUSION_COMPILE: 4,
+    SITE_PASS: 6,
+    SITE_BATCH_EXEC: 3,
+}
+
+#: sites where a *persistent* fault still leaves the eager floor
+#: reachable (eager runs no passes, no fusion compiles, no batch step,
+#: and allocates outside any MemoryPool)
+_PERSISTABLE = (SITE_ALLOC, SITE_FUSION_COMPILE, SITE_PASS,
+                SITE_BATCH_EXEC)
+
+
+def _make_rule(site: str, rng: random.Random) -> FaultRule:
+    """One deterministic rule for ``site`` drawn from ``rng``."""
+    if rng.random() < 0.15:
+        fault = Fault(kind=KIND_LATENCY,
+                      latency_s=rng.uniform(0.0005, 0.003))
+    else:
+        fault = Fault()
+    if site in _PERSISTABLE and rng.random() < 0.3:
+        # persistent probabilistic fault: the ladder must route around
+        # the rung for the campaign's whole lifetime
+        return FaultRule(site=site, probability=rng.uniform(0.3, 1.0),
+                         times=None, fault=fault)
+    # one-shot (or few-shot) fault: retries and fallbacks absorb it
+    return FaultRule(site=site, nth=rng.randint(0, _MAX_NTH[site]),
+                     times=rng.choice([1, 1, 1, 2]), fault=fault)
+
+
+def build_plan(seed: int, index: int, primary_site: str) -> FaultPlan:
+    """The campaign's deterministic fault schedule."""
+    rng = random.Random((seed << 20) ^ (index * 0x9E3779B1))
+    rules = [_make_rule(primary_site, rng)]
+    for _ in range(rng.randint(0, 2)):
+        rules.append(_make_rule(rng.choice(ALL_SITES), rng))
+    return FaultPlan(rules, seed=(seed << 8) ^ index)
+
+
+def _bit_exact(got, expected) -> bool:
+    got = got if isinstance(got, tuple) else (got,)
+    expected = expected if isinstance(expected, tuple) else (expected,)
+    if len(got) != len(expected):
+        return False
+    for g, e in zip(got, expected):
+        ga = g.numpy() if hasattr(g, "numpy") else np.asarray(g)
+        ea = e.numpy() if hasattr(e, "numpy") else np.asarray(e)
+        if ga.shape != ea.shape or not np.array_equal(ga, ea,
+                                                      equal_nan=True):
+            return False
+    return True
+
+
+def run_harness_campaign(workload: str, plan: Optional[FaultPlan],
+                         index: int, requests: int, seq_len: int,
+                         ladder: bool) -> Dict[str, object]:
+    """``requests`` resilient runs under a context-local plan, each
+    checked bit-exact against a fault-free eager reference."""
+    cache = CompileCache()
+    breakers = BreakerRegistry(reset_timeout_s=0.01)
+    retry = RetryPolicy(max_retries=1, base_delay_s=0.0005,
+                        max_delay_s=0.005)
+    seeds = [DATA_SEED0 + index * 17 + j for j in range(requests)]
+    # references computed before the plan installs: faults must never
+    # touch the oracle
+    refs = {s: run_workload(workload, "eager", seq_len=seq_len,
+                            seed=s, cache=CompileCache()).outputs
+            for s in seeds}
+    out = {"mode": "harness", "requests": requests, "ok": 0,
+           "degraded": 0, "wrong": 0, "typed_errors": 0,
+           "untyped_errors": 0, "hangs": 0,
+           "fallback_depth_hist": {}, "torn": 0}
+    auditor = StateAuditor(cache=cache)
+    scope = fault_scope(plan) if plan is not None else None
+    if scope is not None:
+        scope.__enter__()
+    try:
+        for s in seeds:
+            try:
+                if ladder:
+                    r = run_workload_resilient(
+                        workload, "tensorssa", seq_len=seq_len, seed=s,
+                        cache=cache, breakers=breakers, retry=retry)
+                else:
+                    r = run_workload(workload, "tensorssa",
+                                     seq_len=seq_len, seed=s, cache=cache)
+            except ReproError:
+                out["typed_errors"] += 1
+                continue
+            except Exception:
+                out["untyped_errors"] += 1
+                continue
+            if not _bit_exact(r.outputs, refs[s]):
+                out["wrong"] += 1
+                continue
+            out["ok"] += 1
+            if r.degraded:
+                out["degraded"] += 1
+            hist = out["fallback_depth_hist"]
+            hist[r.fallback_depth] = hist.get(r.fallback_depth, 0) + 1
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+    out["torn"] = len(auditor.audit())
+    out["audit"] = auditor.audit()
+    out["breaker_transitions"] = breakers.transitions()
+    return out
+
+
+def run_serve_campaign(workload: str, plan: Optional[FaultPlan],
+                       index: int, requests: int, seq_len: int,
+                       ladder: bool,
+                       hang_timeout_s: float) -> Dict[str, object]:
+    """``requests`` through a live server under a global plan; every
+    future must resolve within the hang timeout."""
+    policy = ServePolicy(
+        workers=2, max_batch_size=4, batch_wait_s=0.001,
+        verify="batch", ladder_enabled=ladder, max_retries=1,
+        retry_base_delay_s=0.0005, retry_max_delay_s=0.005,
+        breaker_reset_s=0.02, request_timeout_s=hang_timeout_s,
+        retry_seed=index)
+    out = {"mode": "serve", "requests": requests, "ok": 0, "degraded": 0,
+           "wrong": 0, "typed_errors": 0, "untyped_errors": 0,
+           "hangs": 0, "fallback_depth_hist": {}, "torn": 0}
+    server = Server(policy)
+    auditor = StateAuditor(cache=server.cache)
+    scope = global_fault_scope(plan) if plan is not None else None
+    if scope is not None:
+        scope.__enter__()
+    try:
+        futs = [server.submit(workload, seq_len=seq_len,
+                              seed=DATA_SEED0 + index * 17 + j)
+                for j in range(requests)]
+        for fut in futs:
+            try:
+                resp = fut.result(timeout=hang_timeout_s)
+            except FutureTimeout:
+                out["hangs"] += 1
+                continue
+            except Exception:
+                out["untyped_errors"] += 1
+                continue
+            if resp.ok:
+                if resp.verified is False:
+                    out["wrong"] += 1
+                    continue
+                out["ok"] += 1
+                if resp.degraded:
+                    out["degraded"] += 1
+                hist = out["fallback_depth_hist"]
+                hist[resp.fallback_depth] = \
+                    hist.get(resp.fallback_depth, 0) + 1
+            elif resp.error:
+                out["typed_errors"] += 1  # clean rejection/timeout/error
+            else:
+                out["untyped_errors"] += 1  # failure without a reason
+        server.shutdown(drain=True, timeout=hang_timeout_s)
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
+        server.shutdown(drain=False, timeout=1.0)
+    out["torn"] = len(auditor.audit())
+    out["audit"] = auditor.audit()
+    out["breaker_transitions"] = server.executor.breakers.transitions()
+    return out
+
+
+def _merge_hist(total: Dict[str, int], part: Dict) -> None:
+    for k, v in part.items():
+        total[str(k)] = total.get(str(k), 0) + v
+
+
+def run_campaigns(args: argparse.Namespace) -> Dict[str, object]:
+    """Run every campaign of the configured sweep and aggregate the
+    report: the primary fault site cycles through all five sites
+    (guaranteeing coverage), campaigns alternate harness/serve mode
+    (serve whenever the primary is the serving-only ``batch_exec``
+    site), and the first two run fault-free as controls."""
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    ladder = not args.no_ladder
+    campaigns: List[Dict[str, object]] = []
+    fired_by_site: Dict[str, int] = {}
+    fallback_hist: Dict[str, int] = {}
+    breaker_transitions: Dict[str, int] = {}
+    totals = {"requests": 0, "ok": 0, "degraded": 0, "wrong": 0,
+              "typed_errors": 0, "untyped_errors": 0, "hangs": 0,
+              "torn_audits": 0, "control_violations": 0}
+
+    for i in range(args.campaigns):
+        control = i < min(2, args.campaigns)  # first two run fault-free
+        workload = workloads[i % len(workloads)]
+        if control:
+            plan, primary = None, "none"
+            mode = "harness" if i % 2 == 0 else "serve"
+        else:
+            primary = ALL_SITES[(i - 2) % len(ALL_SITES)]
+            plan = build_plan(args.seed, i, primary)
+            mode = "serve" if primary == SITE_BATCH_EXEC or i % 2 == 0 \
+                else "harness"
+        runner = run_serve_campaign if mode == "serve" \
+            else run_harness_campaign
+        start = time.perf_counter()
+        result = runner(workload, plan, i, args.requests, args.seq_len,
+                        ladder) if mode == "harness" else \
+            runner(workload, plan, i, args.requests, args.seq_len,
+                   ladder, args.hang_timeout_s)
+        result.update(index=i, workload=workload, control=control,
+                      primary_site=primary,
+                      wall_s=time.perf_counter() - start)
+        if plan is not None:
+            result["fired_by_site"] = plan.fired_by_site()
+            _merge_hist(fired_by_site, result["fired_by_site"])
+        if control:
+            # the fault-free control must be perfect: full availability
+            # at fallback depth 0
+            depths = set(result["fallback_depth_hist"])
+            if result["ok"] != result["requests"] or depths - {0}:
+                result["control_violation"] = True
+                totals["control_violations"] += 1
+        campaigns.append(result)
+        totals["requests"] += result["requests"]
+        for k in ("ok", "degraded", "wrong", "typed_errors",
+                  "untyped_errors", "hangs"):
+            totals[k] += result[k]
+        totals["torn_audits"] += result["torn"]
+        _merge_hist(fallback_hist, result["fallback_depth_hist"])
+        _merge_hist(breaker_transitions, result["breaker_transitions"])
+
+    site_gaps = [s for s in ALL_SITES if not fired_by_site.get(s)]
+    availability = 100.0 * totals["ok"] / max(1, totals["requests"])
+    return {
+        "config": {"seed": args.seed, "campaigns": args.campaigns,
+                   "workloads": workloads, "requests": args.requests,
+                   "seq_len": args.seq_len, "ladder": ladder},
+        "campaigns": campaigns,
+        "totals": {**totals,
+                   "availability_pct": availability,
+                   "fallback_depth_hist": fallback_hist,
+                   "fired_by_site": fired_by_site,
+                   "site_gaps": site_gaps,
+                   "breaker_transitions": breaker_transitions},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry; exit = hangs + torn + wrong + untyped + site gaps
+    (+ control violations), i.e. zero only when chaos stayed clean."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.chaos",
+        description="seeded fault-injection campaigns across the "
+                    "harness and serving stack")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--campaigns", type=int, default=25)
+    parser.add_argument("--workloads", type=str, default="lstm,attention")
+    parser.add_argument("--requests", type=int, default=6,
+                        help="requests per campaign")
+    parser.add_argument("--seq-len", type=int, default=8)
+    parser.add_argument("--no-ladder", action="store_true",
+                        help="disable the degradation ladder (ablation: "
+                             "availability under faults collapses)")
+    parser.add_argument("--hang-timeout-s", type=float, default=30.0,
+                        help="a future unresolved past this counts as "
+                             "a hang")
+    parser.add_argument("--min-availability", type=float, default=95.0,
+                        help="fail below this availability %% "
+                             "(ladder mode only)")
+    parser.add_argument("--out", type=str, default="results/chaos.json")
+    args = parser.parse_args(argv)
+
+    report = run_campaigns(args)
+    t = report["totals"]
+    print(f"chaos: {args.campaigns} campaigns, {t['requests']} requests "
+          f"(seed {args.seed}, ladder "
+          f"{'on' if report['config']['ladder'] else 'off'})")
+    print(f"  availability {t['availability_pct']:.1f}%  "
+          f"degraded {t['degraded']}  typed errors {t['typed_errors']}")
+    print(f"  hangs {t['hangs']}  torn audits {t['torn_audits']}  "
+          f"wrong answers {t['wrong']}  untyped {t['untyped_errors']}")
+    print(f"  faults fired by site: {t['fired_by_site']}")
+    print(f"  fallback depths: {t['fallback_depth_hist']}  "
+          f"breakers: {t['breaker_transitions']}")
+    if t["site_gaps"]:
+        print(f"  UNCOVERED SITES: {t['site_gaps']}")
+
+    failures = (t["hangs"] + t["torn_audits"] + t["wrong"]
+                + t["untyped_errors"] + len(t["site_gaps"])
+                + t["control_violations"])
+    if not args.no_ladder \
+            and t["availability_pct"] < args.min_availability:
+        print(f"FAIL: availability {t['availability_pct']:.1f}% < "
+              f"{args.min_availability:.1f}%")
+        failures += 1
+    report["failures"] = failures
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{failures} failure(s); wrote {out}")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())
