@@ -23,6 +23,7 @@ import numpy as np
 
 from ..faults import SITE_FUSION_COMPILE, maybe_inject
 from ..ir.graph import Node
+from ..obs import trace as obs_trace
 from ..runtime import profiler
 from ..runtime.tensor import Tensor
 from .codegen import compile_block
@@ -48,9 +49,11 @@ def _node_kernel(node: Node, build: Callable[[], object]) -> object:
         with _kernel_lock:
             kernel = node.attrs.get("kernel")
             if kernel is None:
-                maybe_inject(SITE_FUSION_COMPILE, node.op)
-                kernel = build()
-                node.attrs["kernel"] = kernel
+                with obs_trace.span("kernel:compile", cat="compile",
+                                    op=node.op):
+                    maybe_inject(SITE_FUSION_COMPILE, node.op)
+                    kernel = build()
+                    node.attrs["kernel"] = kernel
     return kernel
 
 
@@ -82,15 +85,17 @@ def execute_group(node: Node, inputs: Sequence[object]) -> List[object]:
     """Run a ``prim::FusionGroup``: compile-once, launch-once."""
     kernel = _node_kernel(
         node, lambda: compile_block(node.blocks[0], name="_fusion"))
-    raw = execute_kernel(kernel, [_unwrap(x) for x in inputs],
-                         "fusion_group")
-    outputs = [_wrap(r) for r in raw]
     n_ops = node.attrs.get("num_member_ops", len(node.blocks[0].nodes))
-    out_elems = sum(o.numel for o in outputs if isinstance(o, Tensor))
-    profiler.record_launch("fusion_group",
-                           nbytes=_io_bytes(inputs) + _io_bytes(outputs),
-                           flops=out_elems * max(n_ops, 1),
-                           fused_ops=n_ops)
+    with obs_trace.span("kernel:fusion_group", cat="exec",
+                        fused_ops=n_ops):
+        raw = execute_kernel(kernel, [_unwrap(x) for x in inputs],
+                             "fusion_group")
+        outputs = [_wrap(r) for r in raw]
+        out_elems = sum(o.numel for o in outputs if isinstance(o, Tensor))
+        profiler.record_launch("fusion_group",
+                               nbytes=_io_bytes(inputs) + _io_bytes(outputs),
+                               flops=out_elems * max(n_ops, 1),
+                               fused_ops=n_ops)
     return outputs
 
 
@@ -114,25 +119,30 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
 
     kernel = _node_kernel(node, _build)
 
-    state = [_unwrap(c) for c in carried]
-    caps = [_unwrap(c) for c in captures]
-    pre_launch("parallel_loop")  # one launch covers every iteration
-    i = 0
-    alive = bool(cond)
-    while alive and i < max_trip:
-        results = kernel([i] + state + caps)
-        alive = bool(results[0])
-        state = list(results[1:])
-        i += 1
+    with obs_trace.span("kernel:parallel_loop", cat="exec",
+                        max_trip=max_trip) as sp:
+        state = [_unwrap(c) for c in carried]
+        caps = [_unwrap(c) for c in captures]
+        pre_launch("parallel_loop")  # one launch covers every iteration
+        i = 0
+        alive = bool(cond)
+        while alive and i < max_trip:
+            results = kernel([i] + state + caps)
+            alive = bool(results[0])
+            state = list(results[1:])
+            i += 1
 
-    outputs = [_wrap(s) for s in state]
-    n_ops = node.attrs.get("num_member_ops", len(body.nodes))
-    profiler.record_launch(
-        "parallel_loop",
-        nbytes=_io_bytes(carried) + _io_bytes(captures) + _io_bytes(outputs),
-        flops=sum(o.numel for o in outputs if isinstance(o, Tensor))
-        * max(n_ops, 1),
-        fused_ops=n_ops * max(i, 1))
+        outputs = [_wrap(s) for s in state]
+        n_ops = node.attrs.get("num_member_ops", len(body.nodes))
+        if sp is not None:
+            sp.args["trips"] = i
+        profiler.record_launch(
+            "parallel_loop",
+            nbytes=_io_bytes(carried) + _io_bytes(captures)
+            + _io_bytes(outputs),
+            flops=sum(o.numel for o in outputs if isinstance(o, Tensor))
+            * max(n_ops, 1),
+            fused_ops=n_ops * max(i, 1))
     return outputs
 
 
@@ -142,13 +152,14 @@ def run_parallel_map(node: Node, inputs: List[object]) -> List[object]:
     kernel = _node_kernel(node, lambda: compile_block(body, name="_pmap"))
     trip = int(inputs[0])
     caps = [_unwrap(c) for c in inputs[1:]]
-    pre_launch("parallel_map")  # one launch covers the whole map
-    per_iter = [kernel([i] + caps) for i in range(trip)]
-    outputs = [_wrap(np.stack([r[k] for r in per_iter]))
-               for k in range(len(body.returns))]
-    profiler.record_launch("parallel_map",
-                           nbytes=_io_bytes(inputs) + _io_bytes(outputs),
-                           flops=sum(o.numel for o in outputs
-                                     if isinstance(o, Tensor)),
-                           fused_ops=max(len(body.nodes), 1) * max(trip, 1))
+    with obs_trace.span("kernel:parallel_map", cat="exec", trip=trip):
+        pre_launch("parallel_map")  # one launch covers the whole map
+        per_iter = [kernel([i] + caps) for i in range(trip)]
+        outputs = [_wrap(np.stack([r[k] for r in per_iter]))
+                   for k in range(len(body.returns))]
+        profiler.record_launch(
+            "parallel_map",
+            nbytes=_io_bytes(inputs) + _io_bytes(outputs),
+            flops=sum(o.numel for o in outputs if isinstance(o, Tensor)),
+            fused_ops=max(len(body.nodes), 1) * max(trip, 1))
     return outputs

@@ -42,6 +42,7 @@ import numpy as np
 
 import repro.runtime as rt
 from ..models import Workload, get_workload
+from ..obs import trace as obs_trace
 from ..pipelines import Pipeline, get_pipeline
 from ..pipelines.base import Compiled
 from .platforms import Platform, get_platform
@@ -140,36 +141,44 @@ class CompileCache:
         owner's factory raises, waiters retry the compilation
         themselves rather than inheriting the owner's exception.
         """
-        while True:
-            with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None:
-                    self._entries.move_to_end(key)
-                    self.hits += 1
-                    return entry, True
-                flight = self._inflight.get(key)
-                if flight is None:
-                    flight = _InFlight()
-                    self._inflight[key] = flight
-                    self.misses += 1
-                    owner = True
-                else:
-                    owner = False
-            if not owner:
-                flight.event.wait()
-                continue  # re-check: hit on success, own miss on error
-            # The in-flight slot is released and its event set on EVERY
-            # exit path (including put() failing), or waiters would
-            # block forever on an event that never fires — the torn
-            # state the StateAuditor checks for.
-            try:
-                compiled = factory()
-                self.put(key, compiled)
-            finally:
+        with obs_trace.span("cache:lookup", cat="cache",
+                            key=str(key)) as lookup_sp:
+            while True:
                 with self._lock:
-                    self._inflight.pop(key, None)
-                flight.event.set()
-            return compiled, False
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        self._entries.move_to_end(key)
+                        self.hits += 1
+                        if lookup_sp is not None:
+                            lookup_sp.args["hit"] = True
+                        return entry, True
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        flight = _InFlight()
+                        self._inflight[key] = flight
+                        self.misses += 1
+                        owner = True
+                    else:
+                        owner = False
+                if not owner:
+                    flight.event.wait()
+                    continue  # re-check: hit on success, own miss on error
+                if lookup_sp is not None:
+                    lookup_sp.args["hit"] = False
+                # The in-flight slot is released and its event set on EVERY
+                # exit path (including put() failing), or waiters would
+                # block forever on an event that never fires — the torn
+                # state the StateAuditor checks for.
+                try:
+                    with obs_trace.span("cache:compile", cat="cache",
+                                        key=str(key)):
+                        compiled = factory()
+                    self.put(key, compiled)
+                finally:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.event.set()
+                return compiled, False
 
     def inflight_count(self) -> int:
         """Compilations currently owned by some thread.  Zero at
@@ -294,30 +303,49 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
                  repeats: int = 3,
                  cache: Optional[CompileCache] = None) -> RunResult:
     """Execute one (workload, pipeline) pair and price it."""
+    with obs_trace.span("harness:run_workload", cat="harness",
+                        workload=workload, pipeline=pipeline,
+                        batch_size=batch_size, seq_len=seq_len):
+        return _run_workload_traced(
+            workload, pipeline, platform, batch_size, seq_len, seed,
+            check, measure_wallclock, repeats, cache)
+
+
+def _run_workload_traced(workload, pipeline, platform, batch_size,
+                         seq_len, seed, check, measure_wallclock,
+                         repeats, cache) -> RunResult:
     wl = get_workload(workload)
     pipe = get_pipeline(pipeline)
     plat: Platform = get_platform(platform)
     cache = cache if cache is not None else _compile_cache
     args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len, seed=seed)
-    compiled, was_hit = compile_cached_status(pipe, wl, example_args=args,
-                                              cache=cache)
+    with obs_trace.span("harness:compile", cat="compile",
+                        pipeline=pipeline, workload=workload):
+        compiled, was_hit = compile_cached_status(pipe, wl,
+                                                  example_args=args,
+                                                  cache=cache)
 
     run_args = clone_args(args)  # outside the profile: input prep is
-    with rt.profile() as prof:   # not part of the measured run
-        outputs = compiled(*run_args)
+    with obs_trace.span("harness:execute", cat="exec",
+                        pipeline=pipeline, workload=workload):
+        with rt.profile() as prof:  # not part of the measured run
+            outputs = compiled(*run_args)
 
     if check:
-        expected = wl.model_fn(*clone_args(args))
-        _assert_equal(outputs, expected, workload, pipeline)
+        with obs_trace.span("harness:check", cat="verify"):
+            expected = wl.model_fn(*clone_args(args))
+            _assert_equal(outputs, expected, workload, pipeline)
 
     wallclock = None
     if measure_wallclock:
         best = float("inf")
-        for _ in range(repeats):
-            run_args = clone_args(args)
-            start = time.perf_counter()
-            compiled(*run_args)
-            best = min(best, time.perf_counter() - start)
+        with obs_trace.span("harness:wallclock", cat="exec",
+                            repeats=repeats):
+            for _ in range(repeats):
+                run_args = clone_args(args)
+                start = time.perf_counter()
+                compiled(*run_args)
+                best = min(best, time.perf_counter() - start)
         wallclock = best
 
     snap = cache.snapshot()
@@ -384,17 +412,21 @@ def run_workload_resilient(workload: str, pipeline: str = "tensorssa",
         for retry_index in range(retry.max_retries + 1):
             attempts += 1
             try:
-                result = run_workload(
-                    workload, rung, platform=platform,
-                    batch_size=batch_size, seq_len=seq_len, seed=seed,
-                    check=check, cache=cache)
+                with obs_trace.span(f"harness:rung:{rung}", cat="ladder",
+                                    depth=depth, attempt=retry_index):
+                    result = run_workload(
+                        workload, rung, platform=platform,
+                        batch_size=batch_size, seq_len=seq_len, seed=seed,
+                        check=check, cache=cache)
             except Exception as exc:
                 breaker.record_failure()
                 last_error = classify(exc)
                 if not is_retryable(exc) \
                         or retry_index >= retry.max_retries:
                     break  # descend the ladder
-                time.sleep(retry.delay_s(retry_index, rng))
+                with obs_trace.span("harness:retry_wait", cat="ladder",
+                                    rung=rung, attempt=retry_index):
+                    time.sleep(retry.delay_s(retry_index, rng))
                 continue
             breaker.record_success()
             result.served_by = rung

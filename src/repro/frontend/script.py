@@ -7,6 +7,7 @@ from typing import Callable, Optional
 
 from ..ir import verify
 from ..ir.graph import Graph
+from ..obs import trace as obs_trace
 from .lowering import Lowerer
 
 
@@ -47,8 +48,10 @@ def script(fn: Optional[Callable] = None, *, name: Optional[str] = None):
         scripted = script(post)  # equivalent
     """
     def build(f: Callable) -> ScriptedFunction:
-        graph = Lowerer(f, name=name).run()
-        verify(graph)
+        with obs_trace.span("frontend:script", cat="compile",
+                            fn=getattr(f, "__name__", repr(f))):
+            graph = Lowerer(f, name=name).run()
+            verify(graph)
         return ScriptedFunction(f, graph)
 
     if fn is None:

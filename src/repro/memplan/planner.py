@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.alias import AliasGraph
 from ..ir import types as T
 from ..ir.graph import Block, Graph, Node, Value
+from ..obs import trace as obs_trace
 from .liveness import LifetimeClass, Liveness, compute_liveness
 
 __all__ = ["MemoryPlan", "PlanSlot", "ReuseEdge", "plan_graph",
@@ -146,7 +147,9 @@ def get_or_build_plan(graph: Graph) -> MemoryPlan:
         with _plan_lock:
             plan = getattr(graph, "_memplan", None)
             if plan is None or plan.graph is not graph:
-                plan = plan_graph(graph)
+                with obs_trace.span("memplan:plan", cat="compile",
+                                    graph=graph.name):
+                    plan = plan_graph(graph)
                 graph._memplan = plan
     return plan
 

@@ -1,0 +1,48 @@
+"""``repro.obs`` — structured tracing and metrics for the whole stack.
+
+The observability layer the evaluation leans on: hierarchical wall-time
+**spans** are emitted at every stage boundary (frontend scripting, each
+``PassManager`` pass, compile-cache lookup/compile, memory planning,
+fused-kernel execution, and the full serve request lifecycle), existing
+profiler records (``KernelEvent``/``AllocEvent``) are bridged into the
+span timeline as instant events, and a :class:`MetricsRegistry` of
+counters/gauges/histograms backs the serving metrics.
+
+Two halves:
+
+* :mod:`repro.obs.trace` — the span collector.  ``tracing()`` installs
+  a context-local :class:`Trace` sink (``global_tracing()`` installs a
+  process-wide one so server worker threads report into it), and
+  ``span("pass:fold_views")`` times a region.  When no sink is
+  installed every entry point is a single ``contextvars`` read plus a
+  global load — cheap enough for the hot path (the ``trace-smoke`` CI
+  job gates the disabled-mode overhead at <5%).
+* :mod:`repro.obs.metrics` — instruments.  :class:`Histogram` uses
+  *seeded reservoir sampling* so percentiles stay representative of the
+  whole run (not frozen on its oldest prefix), and
+  :func:`percentile_nearest_rank` implements the true nearest-rank
+  contract (``ceil(q/100*n)``, 1-indexed).
+
+:mod:`repro.obs.export` renders a finished :class:`Trace` as
+Chrome-trace JSON (``chrome://tracing`` / Perfetto ``traceEvents``
+format) and validates the schema; ``python -m repro.tools.trace`` is
+the CLI over all of it.
+"""
+
+from .metrics import (Counter, Gauge, Histogram, LabeledCounter,
+                      MetricsRegistry, percentile_nearest_rank)
+from .trace import (Instant, Span, Trace, active_trace, add_instant,
+                    current_span, global_tracing, null_instrumentation,
+                    span, tracing, tracing_active)
+from .export import (chrome_trace, coverage_fraction, validate_chrome_trace,
+                     write_chrome_trace)
+
+__all__ = [
+    "Span", "Instant", "Trace", "span", "add_instant", "tracing",
+    "global_tracing", "active_trace", "tracing_active", "current_span",
+    "null_instrumentation",
+    "Counter", "Gauge", "Histogram", "LabeledCounter", "MetricsRegistry",
+    "percentile_nearest_rank",
+    "chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "coverage_fraction",
+]

@@ -1,0 +1,185 @@
+"""Chrome-trace export and schema validation for :class:`Trace`.
+
+Renders a finished trace as the ``chrome://tracing`` / Perfetto JSON
+object format: one ``"X"`` (complete) event per span, one ``"i"``
+(instant) event per bridged profiler record, and ``"M"`` metadata
+events naming the threads.  Timestamps are microseconds relative to the
+trace epoch (``Trace.t0_s``), so exports from the same seed are
+byte-comparable except for the timing fields themselves.
+
+:func:`validate_chrome_trace` is the schema gate the ``trace-smoke``
+CI job runs, and :func:`coverage_fraction` measures how much of a
+measured wall-clock window the top-level spans account for (the
+acceptance bar is >= 95%).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .trace import Span, Trace
+
+__all__ = ["chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+           "coverage_fraction"]
+
+#: process id used for every event (one simulated device per trace)
+_PID = 1
+
+
+def _us(trace: Trace, t_s: float) -> float:
+    """Seconds-since-epoch -> microseconds relative to the trace start."""
+    return (t_s - trace.t0_s) * 1e6
+
+
+def _tid_map(trace: Trace) -> Dict[int, int]:
+    """OS thread idents -> small stable track numbers (first span wins)."""
+    mapping: Dict[int, int] = {}
+    for s in trace.spans:
+        if s.tid not in mapping:
+            mapping[s.tid] = len(mapping) + 1
+    return mapping
+
+
+def chrome_trace(trace: Trace) -> Dict[str, object]:
+    """Render ``trace`` as a Chrome-trace JSON object.
+
+    Spans become ``"X"`` complete events carrying ``span_id`` /
+    ``parent_id`` in their args (Chrome's flat event list has no
+    nesting of its own — the viewer reconstructs it from timestamps,
+    tools from the ids); span instants become ``"i"`` thread-scoped
+    instant events.
+    """
+    tids = _tid_map(trace)
+    events: List[Dict[str, object]] = []
+    names: Dict[int, str] = {}
+    for s in trace.spans:
+        tid = tids[s.tid]
+        names.setdefault(tid, s.thread_name)
+        args = dict(s.args)
+        args["span_id"] = s.span_id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        if s.error:
+            args["error"] = s.error
+        events.append({
+            "name": s.name, "cat": s.cat or "default", "ph": "X",
+            "ts": _us(trace, s.start_s), "dur": s.duration_s * 1e6,
+            "pid": _PID, "tid": tid, "args": args,
+        })
+        for inst in s.instants:
+            events.append({
+                "name": inst.name, "cat": "event", "ph": "i", "s": "t",
+                "ts": _us(trace, inst.t_s), "pid": _PID, "tid": tid,
+                "args": dict(inst.args, span_id=s.span_id),
+            })
+    for inst in trace.orphan_instants:
+        events.append({
+            "name": inst.name, "cat": "event", "ph": "i", "s": "p",
+            "ts": _us(trace, inst.t_s), "pid": _PID, "tid": 0,
+            "args": dict(inst.args),
+        })
+    events.sort(key=lambda e: (e["ts"], e["tid"]))
+    meta = [{"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+             "args": {"name": f"repro:{trace.name}"}}]
+    for tid, thread_name in sorted(names.items()):
+        meta.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                     "tid": tid, "args": {"name": thread_name}})
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": trace.trace_id, "name": trace.name,
+                      "seed": trace.seed, "spans": len(trace.spans)},
+    }
+
+
+def write_chrome_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Serialize :func:`chrome_trace` to ``path`` (parents created)."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(chrome_trace(trace), indent=1) + "\n")
+    return out
+
+
+#: phases the validator accepts (complete, instant, metadata)
+_VALID_PHASES = ("X", "i", "M")
+
+
+def validate_chrome_trace(doc: Dict[str, object]) -> List[str]:
+    """Every way ``doc`` violates the Chrome-trace object schema.
+
+    Checks the contract ``chrome://tracing`` and Perfetto actually
+    rely on: a ``traceEvents`` list whose members carry ``name``,
+    ``ph``, ``ts``, ``pid`` and ``tid``; ``"X"`` events additionally a
+    non-negative ``dur``; instant events a valid scope; and span
+    ``parent_id`` references that resolve to an exported ``span_id``.
+    An empty list means the document is valid.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    span_ids = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"event {i} lacks {key!r}")
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"event {i} has unknown phase {ph!r}")
+            continue
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i} lacks a numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} ({ev.get('name')}) has "
+                                f"invalid dur {dur!r}")
+            sid = ev.get("args", {}).get("span_id")
+            if not isinstance(sid, int):
+                problems.append(f"event {i} ({ev.get('name')}) lacks "
+                                f"args.span_id")
+            else:
+                span_ids.add(sid)
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            problems.append(f"event {i} has invalid instant scope "
+                            f"{ev.get('s')!r}")
+    for i, ev in enumerate(events):
+        if isinstance(ev, dict) and ev.get("ph") == "X":
+            parent = ev.get("args", {}).get("parent_id")
+            if parent is not None and parent not in span_ids:
+                problems.append(f"event {i} ({ev.get('name')}) references "
+                                f"unknown parent span {parent}")
+    return problems
+
+
+def coverage_fraction(trace: Trace, window_s: Tuple[float, float],
+                      spans: Optional[List[Span]] = None) -> float:
+    """Fraction of the wall-clock window the given spans account for.
+
+    ``window_s`` is a ``(start, end)`` pair of ``perf_counter``
+    readings; ``spans`` defaults to the trace's root spans.  Overlap is
+    measured as the *union* of the spans' intervals clipped to the
+    window, so concurrent roots (serve workers) are not double-counted.
+    """
+    t0, t1 = window_s
+    wall = t1 - t0
+    if wall <= 0:
+        return 0.0
+    intervals = sorted(
+        (max(s.start_s, t0), min(s.end_s, t1))
+        for s in (trace.roots() if spans is None else spans))
+    covered = 0.0
+    cursor = t0
+    for start, end in intervals:
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = end
+    return covered / wall

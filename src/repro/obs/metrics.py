@@ -1,0 +1,274 @@
+"""Counters, gauges, and reservoir histograms behind a registry.
+
+The serving layer's :class:`~repro.serve.stats.ServerStats` is backed
+by these instruments instead of ad-hoc fields, so every metric has one
+thread-safety story, one snapshot format, and one percentile
+implementation.
+
+Two statistics bugs this module exists to fix live here:
+
+* :func:`percentile_nearest_rank` implements the true nearest-rank
+  contract — the rank is ``ceil(q/100 * n)`` (1-indexed), so p50 of
+  ``[1, 2, 3, 4]`` is 2.  The previous ``int(round(q/100 * (n-1)))``
+  interpolation-index hybrid gave 3.
+* :class:`Histogram` keeps a **seeded reservoir sample** (Vitter's
+  Algorithm R): once the cap is reached, each new sample replaces a
+  uniformly-random retained one, so the reservoir stays a uniform
+  sample of the *whole* stream.  The previous behavior dropped every
+  sample past the cap, freezing latency percentiles on the oldest
+  prefix of a long run and hiding late-run regressions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "percentile_nearest_rank", "Counter", "Gauge", "Histogram",
+    "LabeledCounter", "MetricsRegistry",
+]
+
+
+def percentile_nearest_rank(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the value at rank ``ceil(q/100 * n)``
+    (1-indexed) of the sorted samples; 0.0 on no samples.
+
+    ``q=0`` returns the minimum, ``q=100`` the maximum, and every
+    returned value is an actual member of ``samples`` (no
+    interpolation) — the standard nearest-rank definition.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    rank = min(max(rank, 1), len(ordered))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """A monotonically-increasing count, safe across threads."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1)."""
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value with an optional high-water mark."""
+
+    __slots__ = ("name", "_lock", "_value", "_peak")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._peak = 0.0
+
+    def set(self, v: float) -> None:
+        """Set the current value (and raise the peak if exceeded)."""
+        with self._lock:
+            self._value = v
+            if v > self._peak:
+                self._peak = v
+
+    @property
+    def value(self) -> float:
+        """Last value set."""
+        with self._lock:
+            return self._value
+
+    @property
+    def peak(self) -> float:
+        """Largest value ever set (high-water mark)."""
+        with self._lock:
+            return self._peak
+
+
+class LabeledCounter:
+    """A family of counters keyed by one label value (a histogram over
+    discrete labels — batch sizes, fallback depths)."""
+
+    __slots__ = ("name", "_lock", "_counts")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._counts: Dict[object, int] = {}
+
+    def inc(self, label: object, n: int = 1) -> None:
+        """Add ``n`` to the counter for ``label``."""
+        with self._lock:
+            self._counts[label] = self._counts.get(label, 0) + n
+
+    def as_dict(self) -> Dict[object, int]:
+        """Snapshot of label -> count."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __iter__(self):
+        return iter(self.as_dict())
+
+    @property
+    def total(self) -> int:
+        """Sum over all labels."""
+        with self._lock:
+            return sum(self._counts.values())
+
+
+class Histogram:
+    """A streaming sample distribution with a seeded reservoir.
+
+    Keeps at most ``max_samples`` retained values.  Until the cap is
+    reached every sample is retained; past it, sample ``i`` (0-based)
+    replaces a uniformly-random retained slot with probability
+    ``cap/(i+1)`` — Algorithm R, which keeps the reservoir a uniform
+    random sample of everything ever recorded.  The RNG is seeded, so a
+    single-threaded stream reproduces exactly.
+
+    ``count``/``sum``/``mean`` are exact over the whole stream;
+    :meth:`percentile` is computed over the reservoir (exact while the
+    stream fits, an unbiased estimate after).
+    """
+
+    def __init__(self, name: str, max_samples: int = 100_000,
+                 seed: int = 0) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.name = name
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+
+    def record(self, x: float) -> None:
+        """Record one sample into the stream."""
+        with self._lock:
+            self._count += 1
+            self._sum += x
+            if len(self._samples) < self.max_samples:
+                self._samples.append(x)
+            else:
+                j = self._rng.randrange(self._count)
+                if j < self.max_samples:
+                    self._samples[j] = x
+
+    @property
+    def count(self) -> int:
+        """Total samples ever recorded (not just retained)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum over the whole stream."""
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Exact stream mean (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained reservoir."""
+        with self._lock:
+            samples = list(self._samples)
+        return percentile_nearest_rank(samples, q)
+
+    def samples(self) -> List[float]:
+        """Copy of the retained reservoir (tests and exporters)."""
+        with self._lock:
+            return list(self._samples)
+
+
+class MetricsRegistry:
+    """A named collection of instruments with idempotent constructors.
+
+    ``registry.counter("serve.submitted")`` returns the same
+    :class:`Counter` on every call, so independent components can share
+    instruments by name without passing objects around.  ``to_dict``
+    snapshots everything JSON-ready.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = factory()
+                self._instruments[name] = inst
+            elif not isinstance(inst, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {kind.__name__}")
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def labeled_counter(self, name: str) -> LabeledCounter:
+        """The labeled counter named ``name`` (created on first use)."""
+        return self._get(name, LabeledCounter,
+                         lambda: LabeledCounter(name))
+
+    def histogram(self, name: str, max_samples: int = 100_000,
+                  seed: Optional[int] = None) -> Histogram:
+        """The histogram named ``name`` (created on first use; the
+        reservoir RNG defaults to the registry seed)."""
+        return self._get(
+            name, Histogram,
+            lambda: Histogram(name, max_samples=max_samples,
+                              seed=self.seed if seed is None else seed))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every instrument."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: Dict[str, object] = {}
+        for name, inst in sorted(instruments.items()):
+            if isinstance(inst, Counter):
+                out[name] = inst.value
+            elif isinstance(inst, Gauge):
+                out[name] = {"value": inst.value, "peak": inst.peak}
+            elif isinstance(inst, LabeledCounter):
+                out[name] = {str(k): v
+                             for k, v in sorted(inst.as_dict().items(),
+                                                key=lambda kv: str(kv[0]))}
+            elif isinstance(inst, Histogram):
+                out[name] = {
+                    "count": inst.count, "sum": inst.sum,
+                    "mean": inst.mean,
+                    "p50": inst.percentile(50),
+                    "p95": inst.percentile(95),
+                    "p99": inst.percentile(99),
+                }
+        return out

@@ -1,0 +1,318 @@
+"""Hierarchical, context-local span tracing.
+
+A :class:`Span` is one timed region of the pipeline ("pass:fuse",
+"cache:compile", "serve:execute"); spans nest through a context-local
+stack (:mod:`contextvars`, the same propagation design as the PR 3
+profiler), so two threads tracing the same workload produce disjoint,
+well-nested span trees inside one shared :class:`Trace` sink.
+
+Usage::
+
+    with tracing() as trace:
+        with span("pipeline:compile", cat="compile", pipeline="tensorssa"):
+            with span("pass:fuse", cat="compile"):
+                ...
+    trace.spans                       # finished spans, completion order
+    chrome_trace(trace)               # export.py: chrome://tracing JSON
+
+Sinks install two ways, mirroring :mod:`repro.faults`:
+
+* :func:`tracing` — context-local; worker threads spawned elsewhere do
+  **not** see it (isolation is the point);
+* :func:`global_tracing` — process-global, so a live
+  :class:`repro.serve.Server`'s workers report into one trace.
+
+Overhead contract: with **no sink installed**, :func:`span` and
+:func:`add_instant` return after one ``ContextVar.get`` plus a global
+load — no allocation, no clock read.  The ``trace-smoke`` CI job holds
+the instrumented-but-disabled stack within 5% of a fully bypassed run
+(:func:`null_instrumentation` provides the bypass baseline).
+
+Span ids are deterministic: a :class:`Trace` seeded with ``seed``
+always hands out the same id sequence, so two runs of the same
+single-threaded workload produce byte-identical exports (modulo
+timestamps) — the property the trace regression tests pin.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span", "Instant", "Trace", "span", "add_instant", "tracing",
+    "global_tracing", "active_trace", "tracing_active", "current_span",
+    "null_instrumentation",
+]
+
+
+@dataclass
+class Instant(object):
+    """A zero-duration event pinned inside a span (e.g. one profiler
+    ``KernelEvent`` bridged into the timeline)."""
+
+    name: str
+    t_s: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed region of the pipeline.
+
+    ``start_s``/``end_s`` are ``time.perf_counter`` readings;
+    ``parent_id`` is ``None`` for roots; ``tid`` is the OS thread ident
+    the span ran on (exporters remap it to small track numbers).
+    """
+
+    name: str
+    cat: str
+    span_id: int
+    parent_id: Optional[int]
+    tid: int
+    thread_name: str
+    start_s: float
+    end_s: float = 0.0
+    args: Dict[str, object] = field(default_factory=dict)
+    instants: List[Instant] = field(default_factory=list)
+    #: "" = clean exit; otherwise the exception type that unwound
+    #: through the span (the span still closes — error paths are timed)
+    error: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time spent inside the span."""
+        return max(0.0, self.end_s - self.start_s)
+
+
+class Trace:
+    """A thread-safe sink of finished spans.
+
+    One trace collects spans from any number of threads; each span
+    carries its thread ident so exporters can lay them out on separate
+    tracks.  Ids are handed out deterministically from ``seed`` (the id
+    sequence is a pure function of the allocation order), which keeps
+    single-threaded exports reproducible run to run.
+    """
+
+    def __init__(self, name: str = "trace", seed: int = 0) -> None:
+        self.name = name
+        self.seed = seed
+        #: stable run identifier derived from the seed
+        self.trace_id = f"{(seed * 0x9E3779B1) & 0xFFFFFFFF:08x}"
+        self.t0_s = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self.spans: List[Span] = []
+        #: instants recorded outside any open span of their context
+        self.orphan_instants: List[Instant] = []
+
+    def next_span_id(self) -> int:
+        """Allocate the next deterministic span id."""
+        with self._lock:
+            sid = self._next_id
+            self._next_id += 1
+            return sid
+
+    def add_span(self, finished: Span) -> None:
+        """Record one finished span (called by the ``span`` guard)."""
+        with self._lock:
+            self.spans.append(finished)
+
+    def add_orphan(self, instant: Instant) -> None:
+        """Record an instant that fired with no span open."""
+        with self._lock:
+            self.orphan_instants.append(instant)
+
+    # -- reading --------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Finished spans with no parent, in completion order."""
+        with self._lock:
+            return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, parent: Span) -> List[Span]:
+        """Finished direct children of ``parent``."""
+        with self._lock:
+            return [s for s in self.spans if s.parent_id == parent.span_id]
+
+    def by_name(self, prefix: str) -> List[Span]:
+        """Finished spans whose name starts with ``prefix``."""
+        with self._lock:
+            return [s for s in self.spans if s.name.startswith(prefix)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+    def __repr__(self) -> str:
+        return (f"Trace({self.name!r}, id={self.trace_id}, "
+                f"spans={len(self)})")
+
+
+#: Context-local sink (``tracing``) — never inherited by new threads.
+_trace_var: ContextVar[Optional[Trace]] = ContextVar(
+    "repro_trace_sink", default=None)
+#: Process-global sink (``global_tracing``) — seen by every thread.
+_global_trace: Optional[Trace] = None
+#: The current context's open-span stack (outermost first).
+_span_stack: ContextVar[Tuple[Span, ...]] = ContextVar(
+    "repro_span_stack", default=())
+
+
+def active_trace() -> Optional[Trace]:
+    """The sink in effect for this context (context-local wins)."""
+    trace = _trace_var.get()
+    return trace if trace is not None else _global_trace
+
+
+def tracing_active() -> bool:
+    """Whether any sink (context-local or global) is installed."""
+    return _trace_var.get() is not None or _global_trace is not None
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this context, or None."""
+    stack = _span_stack.get()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def tracing(trace: Optional[Trace] = None, name: str = "trace",
+            seed: int = 0) -> Iterator[Trace]:
+    """Install a :class:`Trace` sink for the current context only."""
+    trace = trace if trace is not None else Trace(name=name, seed=seed)
+    token = _trace_var.set(trace)
+    try:
+        yield trace
+    finally:
+        _trace_var.reset(token)
+
+
+@contextmanager
+def global_tracing(trace: Optional[Trace] = None, name: str = "trace",
+                   seed: int = 0) -> Iterator[Trace]:
+    """Install a sink process-wide (server worker threads report into
+    it).  Not reentrant: nesting a second global sink raises."""
+    global _global_trace
+    if _global_trace is not None:
+        raise RuntimeError("a global trace sink is already installed")
+    trace = trace if trace is not None else Trace(name=name, seed=seed)
+    _global_trace = trace
+    try:
+        yield trace
+    finally:
+        _global_trace = None
+
+
+class _SpanGuard:
+    """Context manager for one span; ``None``-like when tracing is off.
+
+    A dedicated class (rather than ``@contextmanager``) keeps the
+    disabled path allocation-free after the factory call and lets the
+    enabled path stamp the clock as late/early as possible.
+    """
+
+    __slots__ = ("_span", "_trace", "_token")
+
+    def __init__(self, span_obj: Optional[Span], trace: Optional[Trace]):
+        self._span = span_obj
+        self._trace = trace
+        self._token = None
+
+    def __enter__(self) -> Optional[Span]:
+        span_obj = self._span
+        if span_obj is None:
+            return None
+        self._token = _span_stack.set(_span_stack.get() + (span_obj,))
+        span_obj.start_s = time.perf_counter()
+        return span_obj
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span_obj = self._span
+        if span_obj is None:
+            return
+        span_obj.end_s = time.perf_counter()
+        if exc_type is not None:
+            span_obj.error = exc_type.__name__
+        _span_stack.reset(self._token)
+        self._trace.add_span(span_obj)
+
+
+_NULL_GUARD = _SpanGuard(None, None)
+
+
+def span(name: str, cat: str = "", **args) -> _SpanGuard:
+    """Open a hierarchical span: ``with span("pass:fuse", cat="compile")``.
+
+    No sink installed -> returns a shared null guard (no allocation, no
+    clock read).  With a sink, the span nests under the context's
+    current innermost span and is recorded on exit (clean or raising —
+    an unwinding exception stamps ``Span.error`` with its type name).
+    """
+    trace = _trace_var.get()
+    if trace is None:
+        trace = _global_trace
+        if trace is None:
+            return _NULL_GUARD
+    parent = current_span()
+    ident = threading.get_ident()
+    thread = threading.current_thread().name
+    span_obj = Span(name=name, cat=cat, span_id=trace.next_span_id(),
+                    parent_id=None if parent is None else parent.span_id,
+                    tid=ident, thread_name=thread,
+                    start_s=0.0, args=dict(args) if args else {})
+    return _SpanGuard(span_obj, trace)
+
+
+def add_instant(name: str, **args) -> None:
+    """Attach a zero-duration event to the innermost open span.
+
+    This is the bridge the profiler uses to pin ``KernelEvent`` /
+    ``AllocEvent`` records onto the span timeline.  Without a sink it
+    returns after the sink check; with a sink but no open span in this
+    context the instant lands on the trace's orphan list.
+    """
+    trace = _trace_var.get()
+    if trace is None:
+        trace = _global_trace
+        if trace is None:
+            return
+    instant = Instant(name=name, t_s=time.perf_counter(),
+                      args=dict(args) if args else {})
+    parent = current_span()
+    if parent is None:
+        trace.add_orphan(instant)
+    else:
+        parent.instants.append(instant)
+
+
+@contextmanager
+def null_instrumentation() -> Iterator[None]:
+    """Bypass every ``span``/``add_instant`` call site in-process.
+
+    The overhead microbench (``tools/trace --overhead-check``) uses
+    this as its baseline: call sites resolve ``span`` through the
+    module at call time, so swapping the module attributes measures the
+    true cost of the *disabled* instrumentation against no
+    instrumentation at all.
+    """
+    global span, add_instant, tracing_active
+    saved = (span, add_instant, tracing_active)
+
+    def _no_span(name: str, cat: str = "", **args) -> _SpanGuard:
+        return _NULL_GUARD
+
+    def _no_instant(name: str, **args) -> None:
+        return None
+
+    span, add_instant, tracing_active = _no_span, _no_instant, \
+        (lambda: False)
+    try:
+        yield
+    finally:
+        span, add_instant, tracing_active = saved

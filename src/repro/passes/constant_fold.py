@@ -6,6 +6,8 @@ benchmarks need to observe)."""
 
 from __future__ import annotations
 
+from ..errors import ReproError, classify
+from ..faults import SITE_PASS, maybe_inject
 from ..ir.graph import Block, Graph
 from ..ops import registry
 
@@ -33,8 +35,22 @@ def _fold_block(block: Block, graph: Graph) -> bool:
         if payloads is None:
             continue
         try:
+            # per-fold fault checkpoint: infra failures during folding
+            # (injected by the chaos harness) must surface as typed
+            # errors, not silently leave the op unfolded
+            maybe_inject(SITE_PASS, f"constant_fold:{node.op}")
             result = registry.get(node.op).fn(*payloads)
-        except Exception:
+        except ReproError:
+            # injected faults and typed infrastructure errors: masking
+            # them as "leave unfolded" hides real failures from the
+            # degradation ladder and the chaos availability gate
+            raise
+        except MemoryError as exc:
+            raise classify(exc) from exc  # fatal: typed OOMError
+        except (ArithmeticError, ValueError, TypeError):
+            # expected evaluation failure (div by zero, domain error,
+            # bad operand type): constant folding legitimately skips
+            # the op and leaves it for runtime
             continue
         const = graph.constant(result)
         block.insert_before(node, const)

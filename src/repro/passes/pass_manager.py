@@ -15,6 +15,7 @@ from typing import Callable, List, Tuple
 from ..faults import SITE_PASS, maybe_inject
 from ..ir import verify
 from ..ir.graph import Graph
+from ..obs import trace as obs_trace
 
 #: results-dict key holding the list of :class:`PassMetric`
 PASS_METRICS_KEY = "__pass_metrics__"
@@ -62,24 +63,33 @@ class PassManager:
         per-pass telemetry list under :data:`PASS_METRICS_KEY`."""
         results = {}
         metrics: List[PassMetric] = []
-        for name, fn in self.passes:
-            # the "pass" fault checkpoint: an injected CompileError
-            # raises before the pass mutates the graph, so the caller
-            # sees a clean compile failure, not a half-transformed IR
-            maybe_inject(SITE_PASS, name)
-            nodes_before = _count_nodes(graph)
-            start = time.perf_counter()
-            results[name] = fn(graph)
-            wall_ms = (time.perf_counter() - start) * 1e3
-            metrics.append(PassMetric(name=name, wall_ms=wall_ms,
-                                      nodes_before=nodes_before,
-                                      nodes_after=_count_nodes(graph)))
-            if self.verify_each:
-                try:
-                    verify(graph)
-                except AssertionError as exc:
-                    raise AssertionError(
-                        f"IR verification failed after pass {name!r}: "
-                        f"{exc}") from exc
+        with obs_trace.span("pass_manager:run", cat="compile",
+                            graph=graph.name, num_passes=len(self.passes)):
+            for name, fn in self.passes:
+                # the "pass" fault checkpoint: an injected CompileError
+                # raises before the pass mutates the graph, so the caller
+                # sees a clean compile failure, not a half-transformed IR
+                maybe_inject(SITE_PASS, name)
+                nodes_before = _count_nodes(graph)
+                with obs_trace.span(f"pass:{name}", cat="compile") as sp:
+                    start = time.perf_counter()
+                    results[name] = fn(graph)
+                    wall_ms = (time.perf_counter() - start) * 1e3
+                nodes_after = _count_nodes(graph)
+                if sp is not None:
+                    sp.args["nodes_before"] = nodes_before
+                    sp.args["nodes_after"] = nodes_after
+                metrics.append(PassMetric(name=name, wall_ms=wall_ms,
+                                          nodes_before=nodes_before,
+                                          nodes_after=nodes_after))
+                if self.verify_each:
+                    with obs_trace.span(f"pass:verify:{name}",
+                                        cat="compile"):
+                        try:
+                            verify(graph)
+                        except AssertionError as exc:
+                            raise AssertionError(
+                                f"IR verification failed after pass "
+                                f"{name!r}: {exc}") from exc
         results[PASS_METRICS_KEY] = metrics
         return results

@@ -19,6 +19,7 @@ from ..frontend import script
 from ..ir import verify
 from ..ir.clone import clone_graph
 from ..memplan import get_or_build_plan
+from ..obs import trace as obs_trace
 from ..passes import (FuserConfig, PassManager, canonicalize, constant_fold,
                       cse, dce, fuse, parallelize_loops)
 from ..passes.revert import revert_unfused_assigns
@@ -44,10 +45,16 @@ class TensorSSAPipeline(Pipeline):
             self.name = name
 
     def compile(self, model_fn: Callable, example_args=None) -> Compiled:
+        with obs_trace.span("pipeline:compile", cat="compile",
+                            pipeline=self.name):
+            return self._compile(model_fn, example_args)
+
+    def _compile(self, model_fn: Callable, example_args=None) -> Compiled:
         scripted = script(model_fn)
         graph = clone_graph(scripted.graph, name=self.name)
-        report = convert_to_tensorssa(
-            graph, intra_block_only=self.intra_block_only)
+        with obs_trace.span("tensorssa:convert", cat="compile"):
+            report = convert_to_tensorssa(
+                graph, intra_block_only=self.intra_block_only)
         pm = (PassManager()
               .add("dce", dce)
               .add("cse", cse)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from ..faults import SITE_KERNEL_LAUNCH, maybe_inject
+from ..obs import trace as obs_trace
 
 #: Launch kinds whose fault checkpoint already ran *before* compute in
 #: ``backend/kernels.pre_launch`` — record_launch must not double-hit
@@ -192,6 +193,10 @@ def record_launch(op: str, nbytes: int = 0, flops: int = 0,
         maybe_inject(SITE_KERNEL_LAUNCH, op)
     for prof in _stack_var.get():
         prof.events.append(KernelEvent(op, int(nbytes), int(flops), fused_ops))
+    if obs_trace.tracing_active():
+        # bridge the KernelEvent into the active span timeline
+        obs_trace.add_instant("kernel:" + op, bytes=int(nbytes),
+                              flops=int(flops), fused_ops=fused_ops)
 
 
 def record_python(kind: str, count: int = 1) -> None:
@@ -209,9 +214,13 @@ def record_alloc(nbytes: int, reused: bool = False) -> None:
     kind = "reuse" if reused else "alloc"
     for prof in _stack_var.get():
         prof.alloc_events.append(AllocEvent(kind, int(nbytes)))
+    if obs_trace.tracing_active():
+        obs_trace.add_instant("alloc:" + kind, nbytes=int(nbytes))
 
 
 def record_free(nbytes: int) -> None:
     """Record one buffer release into a pool free list."""
     for prof in _stack_var.get():
         prof.alloc_events.append(AllocEvent("free", int(nbytes)))
+    if obs_trace.tracing_active():
+        obs_trace.add_instant("alloc:free", nbytes=int(nbytes))

@@ -49,6 +49,7 @@ from ..errors import (CompileError, DeadlineExceeded, classify,
 from ..eval.harness import CompileCache, clone_args, compile_key
 from ..eval.platforms import Platform, get_platform
 from ..faults import SITE_BATCH_EXEC, maybe_inject
+from ..obs import trace as obs_trace
 from ..pipelines import Pipeline, get_pipeline
 from .batching import BatchPlan, coalesce, scatter
 from .policy import VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO, ServePolicy
@@ -129,7 +130,7 @@ class BatchExecutor:
             if self.policy.ladder_enabled:
                 self._execute_ladder(live)
             else:
-                plan = coalesce(live)
+                plan = self._coalesce(live)
                 try:
                     self._execute_plan(plan)
                 except DeadlineExceeded as exc:
@@ -139,6 +140,17 @@ class BatchExecutor:
         finally:
             self.stats.set_cache_snapshot(self.cache.snapshot())
             self.stats.set_breaker_transitions(self.breakers.transitions())
+
+    def _coalesce(self, requests: List[Request]) -> BatchPlan:
+        """Coalesce under a ``serve:coalesce`` span, stamping each
+        member's timeline with the batch it rode in."""
+        with obs_trace.span("serve:coalesce", cat="serve",
+                            requests=len(requests)):
+            plan = coalesce(requests)
+        for req in requests:
+            req.mark("coalesce", batch_requests=len(requests),
+                     batch_rows=plan.total_rows)
+        return plan
 
     def _drop_expired(self, requests: Sequence[Request]) -> List[Request]:
         """Answer already-expired members with a timeout; return the rest."""
@@ -188,10 +200,13 @@ class BatchExecutor:
                 self._serve_eager_rung(live, depth, breaker, last_error)
                 return
             for retry_index in range(self.policy.max_retries + 1):
-                plan = coalesce(live)
+                plan = self._coalesce(live)
                 try:
-                    self._execute_plan(plan, pipeline_name=rung,
-                                       depth=depth, ladder=True)
+                    with obs_trace.span(f"serve:rung:{rung}", cat="ladder",
+                                        depth=depth, attempt=retry_index,
+                                        requests=len(live)):
+                        self._execute_plan(plan, pipeline_name=rung,
+                                           depth=depth, ladder=True)
                 except DeadlineExceeded as exc:
                     breaker.record_failure()
                     self._finish_timeout(live, str(exc))
@@ -200,10 +215,17 @@ class BatchExecutor:
                     err = classify(exc)
                     breaker.record_failure()
                     last_error = err
+                    for req in live:
+                        req.mark("rung_failed", rung=rung, depth=depth,
+                                 attempt=retry_index,
+                                 error=type(err).__name__)
                     if not is_retryable(err) \
                             or retry_index >= self.policy.max_retries:
                         break  # descend to the next rung
-                    time.sleep(self._retry.delay_s(retry_index, self._rng))
+                    with obs_trace.span("serve:retry_wait", cat="ladder",
+                                        rung=rung, attempt=retry_index):
+                        time.sleep(
+                            self._retry.delay_s(retry_index, self._rng))
                     continue
                 breaker.record_success()
                 return
@@ -239,10 +261,16 @@ class BatchExecutor:
                     break
                 except Exception as exc:
                     last = classify(exc)
+                    req.mark("rung_failed", rung="eager", depth=depth,
+                             attempt=retry_index,
+                             error=type(last).__name__)
                     if not is_retryable(last) \
                             or retry_index >= self.policy.max_retries:
                         break
-                    time.sleep(self._retry.delay_s(retry_index, self._rng))
+                    with obs_trace.span("serve:retry_wait", cat="ladder",
+                                        rung="eager", attempt=retry_index):
+                        time.sleep(
+                            self._retry.delay_s(retry_index, self._rng))
             if served:
                 breaker.record_success()
                 continue
@@ -293,22 +321,32 @@ class BatchExecutor:
         # failure raises here, after compilation but before device time
         maybe_inject(SITE_BATCH_EXEC, f"{wl.name}/{pipe.name}")
 
+        for req in plan.requests:
+            req.mark("execute", pipeline=pipe.name, cache_hit=hit)
         start = time.perf_counter()
         run_args = clone_args(plan.args)
-        with rt.profile() as prof:
-            outputs = compiled(*run_args)
+        with obs_trace.span("serve:execute", cat="serve", pipeline=pipe.name,
+                            requests=len(plan.requests),
+                            rows=plan.total_rows, cache_hit=hit):
+            with rt.profile() as prof:
+                outputs = compiled(*run_args)
         wall = time.perf_counter() - start
 
         plat = self.platform(req0.platform)
         latency_us = plat.latency_us(prof, pipe.host_profile,
                                      pipe.device_penalty)
-        per_request = scatter(_tuple_outputs(outputs), plan)
-        expected_per_request = self._batch_expected(plan)
+        with obs_trace.span("serve:scatter", cat="serve",
+                            requests=len(plan.requests)):
+            per_request = scatter(_tuple_outputs(outputs), plan)
+        with obs_trace.span("serve:verify", cat="serve",
+                            mode=self.policy.verify):
+            expected_per_request = self._batch_expected(plan)
 
         done = time.monotonic()
         for i, (req, outs) in enumerate(zip(plan.requests, per_request)):
             verified = self._verdict(req, outs, i, expected_per_request,
                                      n_batch=len(plan.requests))
+            req.mark("scatter", verified=verified)
             self._finish(req, Response(
                 request_id=req.id, workload=wl.name, pipeline=req.pipeline,
                 platform=req.platform, status=STATUS_OK,
@@ -384,10 +422,14 @@ class BatchExecutor:
                        fallback: bool, depth: Optional[int] = None) -> None:
         if depth is None:
             depth = 0 if req.pipeline == "eager" else 1
+        req.mark("execute", pipeline="eager", depth=depth, retries=retries)
         start = time.perf_counter()
         run_args = clone_args(req.args)
-        with rt.profile() as prof:
-            outputs = req.workload.model_fn(*run_args)
+        with obs_trace.span("serve:eager", cat="serve",
+                            workload=req.workload.name, depth=depth,
+                            attempt=retries):
+            with rt.profile() as prof:
+                outputs = req.workload.model_fn(*run_args)
         wall = time.perf_counter() - start
         plat = self.platform(req.platform)
         outs = _tuple_outputs(outputs)
@@ -442,5 +484,9 @@ class BatchExecutor:
             cache_hit=resp.cache_hit, fallback=fallback,
             retries=resp.retries, verified=resp.verified,
             fallback_depth=resp.fallback_depth, degraded=resp.degraded)
+        req.mark("finish", status=resp.status,
+                 served_by=resp.served_by or resp.pipeline)
+        if req.timeline:
+            resp.timeline = tuple(req.timeline)
         if not req.future.done():
             req.future.set_result(resp)

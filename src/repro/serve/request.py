@@ -16,9 +16,10 @@ import itertools
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..models import Workload
+from ..obs import trace as obs_trace
 
 #: Response status values.
 STATUS_OK = "ok"
@@ -45,6 +46,22 @@ class Request:
     id: int = field(default_factory=lambda: next(_request_ids))
     enqueued_at: float = field(default_factory=time.monotonic)
     future: "Future[Response]" = field(default_factory=Future)
+    #: lifecycle timeline (only populated while a trace sink is
+    #: installed — see :meth:`mark`); attached to the Response
+    timeline: List[Dict[str, object]] = field(default_factory=list,
+                                              repr=False)
+
+    def mark(self, event: str, **attrs) -> None:
+        """Stamp one lifecycle event (enqueue, dequeue, execute, ...)
+        onto the request's timeline.  A no-op unless a trace sink is
+        installed, so the serving hot path stays unchanged when
+        observability is off."""
+        if obs_trace.tracing_active():
+            entry: Dict[str, object] = {"event": event,
+                                        "t_s": time.perf_counter()}
+            if attrs:
+                entry.update(attrs)
+            self.timeline.append(entry)
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline is None:
@@ -89,6 +106,10 @@ class Response:
     verified: Optional[bool] = None
     retries: int = 0
     error: str = ""
+    #: per-request lifecycle timeline (enqueue -> batch -> execute ->
+    #: scatter, including ladder rungs and retries); populated only
+    #: when the request was served under an installed trace sink
+    timeline: Tuple = field(default=(), repr=False)
 
     @property
     def ok(self) -> bool:

@@ -34,6 +34,7 @@ from typing import Deque, Dict, Iterable, List, Optional, Union
 from ..errors import ServerShutdown
 from ..eval.harness import CompileCache
 from ..models import Workload, get_workload
+from ..obs import trace as obs_trace
 from .batching import get_batch_spec, group_key, request_rows
 from .executor import BatchExecutor
 from .policy import ServePolicy
@@ -135,6 +136,8 @@ class Server:
             req.enqueued_at = time.monotonic()
             self._pending += 1
             self.stats.on_submit(self._pending)
+            req.mark("enqueue", queue_depth=self._pending,
+                     group=f"{req.workload.name}/{req.pipeline}")
             self._cond.notify_all()
 
     def _reject(self, req: Request) -> None:
@@ -170,6 +173,8 @@ class Server:
                             del self._groups[key]
                         self._pending -= len(batch)
                         self._cond.notify_all()
+                        for member in batch:
+                            member.mark("dequeue", batch=len(batch))
                         return batch
                     next_flush = flush_at if next_flush is None \
                         else min(next_flush, flush_at)
@@ -185,7 +190,11 @@ class Server:
             if batch is None:
                 return
             try:
-                self.executor.execute(batch)
+                with obs_trace.span("serve:batch", cat="serve",
+                                    requests=len(batch),
+                                    workload=batch[0].workload.name,
+                                    pipeline=batch[0].pipeline):
+                    self.executor.execute(batch)
             except Exception as exc:
                 # A worker must never die holding unresolved futures:
                 # whatever slipped past the executor's own handling is

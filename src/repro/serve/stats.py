@@ -5,6 +5,19 @@ here: request counts by outcome, the batch-size histogram, latency
 percentiles, queue-depth high-water, and the compile-cache snapshot
 (hit rate *and* epoch, so readers can tell when the counters were
 reset — see the counter-lifecycle note in ``eval/harness.py``).
+
+Since the ``repro.obs`` refactor the counters live in a
+:class:`~repro.obs.MetricsRegistry` instead of ad-hoc fields: every
+outcome count is a :class:`~repro.obs.Counter`, the batch-size and
+fallback-depth histograms are :class:`~repro.obs.LabeledCounter`
+families, the queue-depth high-water is a :class:`~repro.obs.Gauge`
+peak, and latency / queue-wait distributions are seeded
+reservoir-sampled :class:`~repro.obs.Histogram` instruments (Algorithm
+R), so percentiles keep tracking the *whole* run instead of freezing on
+the first ``MAX_SAMPLES`` responses.  The legacy attribute API
+(``stats.completed``, ``stats.batch_size_hist``, ...) is preserved as
+read-only properties over the registry, and ``to_dict`` emits the same
+keys as before the refactor.
 """
 
 from __future__ import annotations
@@ -13,72 +26,79 @@ import threading
 from typing import Dict, List, Optional
 
 from ..eval.harness import CacheStats
+from ..obs import MetricsRegistry, percentile_nearest_rank
 
 
 def percentile(samples: List[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 on no samples."""
-    if not samples:
-        return 0.0
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1,
-                      int(round(q / 100.0 * (len(ordered) - 1)))))
-    return ordered[rank]
+    """Nearest-rank percentile (q in [0, 100]); 0.0 on no samples.
+
+    True nearest-rank: the value at rank ``ceil(q/100 * n)``
+    (1-indexed), so p50 of ``[1, 2, 3, 4]`` is 2.
+    """
+    return percentile_nearest_rank(samples, q)
 
 
 class ServerStats:
-    """Counters for one server, safe to update from many workers."""
+    """Counters for one server, safe to update from many workers.
 
-    #: cap on retained latency samples (reservoir truncates beyond it)
+    Backed by a :class:`~repro.obs.MetricsRegistry`; the historical
+    attribute surface (``completed``, ``fallback_depth_hist``,
+    ``queue_depth_peak``, ...) is exposed as properties so existing
+    readers and tests keep working unchanged.
+    """
+
+    #: cap on retained latency samples (reservoir replaces beyond it)
     MAX_SAMPLES = 100_000
 
-    def __init__(self) -> None:
+    def __init__(self, seed: int = 0) -> None:
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.errors = 0
-        self.timeouts = 0
-        self.rejected = 0
-        self.cancelled = 0
-        self.fallbacks = 0
-        self.retries = 0
-        self.diverged = 0
-        self.verified = 0
-        #: requests served by a rung below the one they asked for
-        self.degraded = 0
-        #: fallback depth -> request count (0 = requested rung served)
-        self.fallback_depth_hist: Dict[int, int] = {}
+        self.registry = MetricsRegistry(seed=seed)
+        reg = self.registry
+        self._submitted = reg.counter("serve.submitted")
+        self._completed = reg.counter("serve.completed")
+        self._errors = reg.counter("serve.errors")
+        self._timeouts = reg.counter("serve.timeouts")
+        self._rejected = reg.counter("serve.rejected")
+        self._cancelled = reg.counter("serve.cancelled")
+        self._fallbacks = reg.counter("serve.fallbacks")
+        self._retries = reg.counter("serve.retries")
+        self._diverged = reg.counter("serve.diverged")
+        self._verified = reg.counter("serve.verified")
+        self._degraded = reg.counter("serve.degraded")
+        self._batches = reg.counter("serve.batches_executed")
+        self._cache_hits = reg.counter("serve.request_cache_hits")
+        self._cache_misses = reg.counter("serve.request_cache_misses")
+        self._queue_depth = reg.gauge("serve.queue_depth")
+        self._batch_sizes = reg.labeled_counter("serve.batch_size")
+        self._fallback_depths = reg.labeled_counter("serve.fallback_depth")
+        self._latency = reg.histogram("serve.latency_s",
+                                      max_samples=self.MAX_SAMPLES)
+        self._queue_wait = reg.histogram("serve.queue_wait_s",
+                                         max_samples=self.MAX_SAMPLES)
         #: circuit-breaker transition counts ("closed->open": n), set
         #: by the executor at snapshot time
         self.breaker_transitions: Dict[str, int] = {}
-        self.batches_executed = 0
-        self.batch_size_hist: Dict[int, int] = {}
-        self.queue_depth_peak = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self._latency_s: List[float] = []
-        self._queue_wait_s: List[float] = []
         self.cache_snapshot: Optional[CacheStats] = None
 
     # -- recording ------------------------------------------------------
 
     def on_submit(self, queue_depth: int) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.queue_depth_peak = max(self.queue_depth_peak, queue_depth)
+        """One request entered the queue (at the given depth)."""
+        self._submitted.inc()
+        self._queue_depth.set(queue_depth)
 
     def on_reject(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        """One request was rejected at intake (queue full)."""
+        self._rejected.inc()
 
     def on_cancel(self, n: int = 1) -> None:
-        with self._lock:
-            self.cancelled += n
+        """``n`` queued requests were cancelled at shutdown."""
+        self._cancelled.inc(n)
 
     def on_batch(self, n_requests: int) -> None:
-        with self._lock:
-            self.batches_executed += 1
-            self.batch_size_hist[n_requests] = \
-                self.batch_size_hist.get(n_requests, 0) + 1
+        """One batch of ``n_requests`` was handed to the executor."""
+        self._batches.inc()
+        self._batch_sizes.inc(n_requests)
 
     def on_response(self, status: str, latency_s: float,
                     queue_wait_s: float, cache_hit: bool,
@@ -86,89 +106,175 @@ class ServerStats:
                     verified: Optional[bool],
                     fallback_depth: int = 0,
                     degraded: bool = False) -> None:
-        with self._lock:
-            if status == "ok":
-                self.completed += 1
-            elif status == "timeout":
-                self.timeouts += 1
-            else:
-                self.errors += 1
-            if fallback:
-                self.fallbacks += 1
-            if degraded:
-                self.degraded += 1
-            if status == "ok":
-                self.fallback_depth_hist[fallback_depth] = \
-                    self.fallback_depth_hist.get(fallback_depth, 0) + 1
-            self.retries += retries
-            if cache_hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
-            if verified is not None:
-                self.verified += 1
-                if not verified:
-                    self.diverged += 1
-            if len(self._latency_s) < self.MAX_SAMPLES:
-                self._latency_s.append(latency_s)
-                self._queue_wait_s.append(queue_wait_s)
+        """One request's future resolved; record its outcome."""
+        if status == "ok":
+            self._completed.inc()
+            self._fallback_depths.inc(fallback_depth)
+        elif status == "timeout":
+            self._timeouts.inc()
+        else:
+            self._errors.inc()
+        if fallback:
+            self._fallbacks.inc()
+        if degraded:
+            self._degraded.inc()
+        if retries:
+            self._retries.inc(retries)
+        if cache_hit:
+            self._cache_hits.inc()
+        else:
+            self._cache_misses.inc()
+        if verified is not None:
+            self._verified.inc()
+            if not verified:
+                self._diverged.inc()
+        self._latency.record(latency_s)
+        self._queue_wait.record(queue_wait_s)
 
     def set_cache_snapshot(self, snap: CacheStats) -> None:
+        """Attach the compile-cache counter snapshot (executor calls)."""
         with self._lock:
             self.cache_snapshot = snap
 
     def set_breaker_transitions(self, transitions: Dict[str, int]) -> None:
+        """Attach circuit-breaker transition counts (executor calls)."""
         with self._lock:
             self.breaker_transitions = dict(transitions)
+
+    # -- legacy attribute surface over the registry ---------------------
+
+    @property
+    def submitted(self) -> int:
+        """Requests accepted into the queue."""
+        return self._submitted.value
+
+    @property
+    def completed(self) -> int:
+        """Requests answered with status ``ok``."""
+        return self._completed.value
+
+    @property
+    def errors(self) -> int:
+        """Requests answered with a non-ok, non-timeout status."""
+        return self._errors.value
+
+    @property
+    def timeouts(self) -> int:
+        """Requests answered with status ``timeout``."""
+        return self._timeouts.value
+
+    @property
+    def rejected(self) -> int:
+        """Requests rejected at intake."""
+        return self._rejected.value
+
+    @property
+    def cancelled(self) -> int:
+        """Requests cancelled at shutdown."""
+        return self._cancelled.value
+
+    @property
+    def fallbacks(self) -> int:
+        """Responses served through a fallback path."""
+        return self._fallbacks.value
+
+    @property
+    def retries(self) -> int:
+        """Total retry attempts across all responses."""
+        return self._retries.value
+
+    @property
+    def diverged(self) -> int:
+        """Verified responses whose oracle verdict was False."""
+        return self._diverged.value
+
+    @property
+    def verified(self) -> int:
+        """Responses that carried an oracle verdict (True or False)."""
+        return self._verified.value
+
+    @property
+    def degraded(self) -> int:
+        """Requests served by a rung below the one they asked for."""
+        return self._degraded.value
+
+    @property
+    def batches_executed(self) -> int:
+        """Batches handed to the executor."""
+        return self._batches.value
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests whose compile artifact was a cache hit."""
+        return self._cache_hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        """Requests whose compile artifact was a cache miss."""
+        return self._cache_misses.value
+
+    @property
+    def queue_depth_peak(self) -> int:
+        """Deepest the queue ever got (high-water mark)."""
+        return int(self._queue_depth.peak)
+
+    @property
+    def batch_size_hist(self) -> Dict[int, int]:
+        """batch size -> number of batches executed at that size."""
+        return self._batch_sizes.as_dict()
+
+    @property
+    def fallback_depth_hist(self) -> Dict[int, int]:
+        """fallback depth -> ok-response count (0 = requested rung)."""
+        return self._fallback_depths.as_dict()
 
     # -- reading --------------------------------------------------------
 
     @property
     def cache_hit_rate(self) -> float:
-        with self._lock:
-            total = self.cache_hits + self.cache_misses
-            return self.cache_hits / total if total else 0.0
+        """Request-level compile-cache hit rate (0.0 when no requests)."""
+        hits = self._cache_hits.value
+        total = hits + self._cache_misses.value
+        return hits / total if total else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        with self._lock:
-            return percentile(self._latency_s, q)
+        """Nearest-rank latency percentile over the reservoir (s)."""
+        return self._latency.percentile(q)
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot (what serve_bench writes to results/)."""
         with self._lock:
-            latencies = list(self._latency_s)
-            waits = list(self._queue_wait_s)
             snap = self.cache_snapshot
-            out = {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "errors": self.errors,
-                "timeouts": self.timeouts,
-                "rejected": self.rejected,
-                "cancelled": self.cancelled,
-                "fallbacks": self.fallbacks,
-                "retries": self.retries,
-                "verified": self.verified,
-                "diverged": self.diverged,
-                "degraded": self.degraded,
-                "fallback_depth_hist": {str(k): v for k, v in
-                                        sorted(
-                                            self.fallback_depth_hist.items())},
-                "breaker_transitions": dict(self.breaker_transitions),
-                "batches_executed": self.batches_executed,
-                "batch_size_hist": {str(k): v for k, v in
-                                    sorted(self.batch_size_hist.items())},
-                "queue_depth_peak": self.queue_depth_peak,
-                "request_cache_hits": self.cache_hits,
-                "request_cache_misses": self.cache_misses,
-            }
+            transitions = dict(self.breaker_transitions)
+        out = {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "fallbacks": self.fallbacks,
+            "retries": self.retries,
+            "verified": self.verified,
+            "diverged": self.diverged,
+            "degraded": self.degraded,
+            "fallback_depth_hist": {str(k): v for k, v in
+                                    sorted(self.fallback_depth_hist.items())},
+            "breaker_transitions": transitions,
+            "batches_executed": self.batches_executed,
+            "batch_size_hist": {str(k): v for k, v in
+                                sorted(self.batch_size_hist.items())},
+            "queue_depth_peak": self.queue_depth_peak,
+            "request_cache_hits": self.cache_hits,
+            "request_cache_misses": self.cache_misses,
+        }
         out["cache_hit_rate"] = (
             out["request_cache_hits"] /
             max(1, out["request_cache_hits"] + out["request_cache_misses"]))
-        out["latency_p50_ms"] = percentile(latencies, 50) * 1e3
-        out["latency_p95_ms"] = percentile(latencies, 95) * 1e3
-        out["queue_wait_p50_ms"] = percentile(waits, 50) * 1e3
-        out["queue_wait_p95_ms"] = percentile(waits, 95) * 1e3
+        out["latency_p50_ms"] = self._latency.percentile(50) * 1e3
+        out["latency_p95_ms"] = self._latency.percentile(95) * 1e3
+        out["queue_wait_p50_ms"] = self._queue_wait.percentile(50) * 1e3
+        out["queue_wait_p95_ms"] = self._queue_wait.percentile(95) * 1e3
         if snap is not None:
             out["compile_cache"] = {
                 "epoch": snap.epoch, "hits": snap.hits,
