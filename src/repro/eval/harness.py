@@ -45,6 +45,7 @@ from ..models import Workload, get_workload
 from ..obs import trace as obs_trace
 from ..pipelines import Pipeline, get_pipeline
 from ..pipelines.base import Compiled
+from ..symshape.family import FamilyTable, ShapeFamily, compiling_family
 from .platforms import Platform, get_platform
 
 
@@ -57,10 +58,14 @@ class CacheStats:
     misses: int
     size: int
     capacity: int
+    #: recompiles forced by a shape-family guard flip — kept distinct
+    #: from plain misses so stats can tell "never saw this program"
+    #: from "saw it, but the artifact was specialized too narrowly"
+    guard_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
+        total = self.hits + self.misses + self.guard_misses
         return self.hits / total if total else 0.0
 
 
@@ -92,7 +97,11 @@ class CompileCache:
         self._inflight: dict = {}
         self.hits = 0
         self.misses = 0
+        self.guard_misses = 0
         self.epoch = 0
+        #: shape families for dynamic-shape lookups; cleared with the
+        #: entries on every epoch boundary
+        self.families = FamilyTable()
 
     def __len__(self) -> int:
         with self._lock:
@@ -131,7 +140,8 @@ class CompileCache:
                 self._entries.popitem(last=False)
 
     def get_or_compile(self, key: tuple,
-                       factory: Callable[[], Compiled]
+                       factory: Callable[[], Compiled],
+                       guard_flip: bool = False
                        ) -> Tuple[Compiled, bool]:
         """Return ``(compiled, hit)``, invoking ``factory`` on a miss.
 
@@ -140,6 +150,11 @@ class CompileCache:
         re-check the cache (re-counting as a hit on success).  If the
         owner's factory raises, waiters retry the compilation
         themselves rather than inheriting the owner's exception.
+
+        ``guard_flip`` marks this lookup as a shape-family guard miss:
+        if it does compile, the event counts in ``guard_misses``
+        instead of ``misses`` (the artifact for this program existed,
+        it was just guarded too narrowly).
         """
         with obs_trace.span("cache:lookup", cat="cache",
                             key=str(key)) as lookup_sp:
@@ -156,7 +171,10 @@ class CompileCache:
                     if flight is None:
                         flight = _InFlight()
                         self._inflight[key] = flight
-                        self.misses += 1
+                        if guard_flip:
+                            self.guard_misses += 1
+                        else:
+                            self.misses += 1
                         owner = True
                     else:
                         owner = False
@@ -192,16 +210,20 @@ class CompileCache:
         with self._lock:
             return CacheStats(epoch=self.epoch, hits=self.hits,
                               misses=self.misses,
+                              guard_misses=self.guard_misses,
                               size=len(self._entries),
                               capacity=self.capacity)
 
     def clear(self) -> None:
-        """Drop entries, reset the counters, and start a new epoch."""
+        """Drop entries and shape families, reset the counters, and
+        start a new epoch."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.guard_misses = 0
             self.epoch += 1
+            self.families.clear()
 
 
 #: Back-compat alias — the class predates its public, thread-safe form.
@@ -233,6 +255,12 @@ class RunResult:
     cache_misses: int = 0
     cache_hit: bool = False
     cache_epoch: int = 0
+    #: guard-flip recompiles (family keying; see ``dynamic_shapes``)
+    cache_guard_misses: int = 0
+    #: shape-family observability when the run used ``dynamic_shapes``:
+    #: which family served it and the table verdict (hit/new/guard_miss)
+    family_id: str = ""
+    family_outcome: str = ""
     wallclock_s: Optional[float] = None
     #: degradation-ladder observability (``run_workload_resilient``):
     #: which rung actually served the run, how far down the chain it
@@ -270,17 +298,71 @@ def compile_key(pipeline: Pipeline, workload: Workload,
     return (pipeline.name, workload.name, _shape_signature(example_args))
 
 
+def family_key(pipeline: Pipeline, workload: Workload,
+               family: ShapeFamily) -> tuple:
+    """The cache key a shape family's artifact lives under."""
+    return (pipeline.name, workload.name, "family", family.family_id)
+
+
+def compile_cached_family(pipeline: Pipeline, workload: Workload,
+                          example_args=None,
+                          cache: Optional[CompileCache] = None,
+                          mod_hints=()
+                          ) -> Tuple[Compiled, bool, ShapeFamily, str]:
+    """Family-keyed compile: ``(compiled, hit, family, outcome)``.
+
+    The example shapes resolve to a :class:`ShapeFamily` (minting one
+    on a structural miss or a guard flip), the cache is keyed on the
+    family id instead of the concrete signature, and the compile — if
+    one happens — runs inside :func:`repro.symshape.family.
+    compiling_family` so shape-specializing passes can record guards.
+    ``outcome`` is the family-table verdict: ``hit`` / ``new`` /
+    ``guard_miss``; a ``guard_miss`` compile counts in the cache's
+    ``guard_misses`` counter, not ``misses``.  ``mod_hints`` are
+    ``(arg_index, dim_index, divisor)`` divisibility facts forwarded
+    to :meth:`repro.symshape.family.FamilyTable.resolve`.
+    """
+    cache = cache if cache is not None else _compile_cache
+    prefix = (pipeline.name, workload.name)
+    signature = _shape_signature(example_args)
+    family, outcome = cache.families.resolve(prefix, signature,
+                                             mod_hints=mod_hints)
+
+    def factory() -> Compiled:
+        with compiling_family(family):
+            return pipeline.compile(workload.model_fn,
+                                    example_args=example_args)
+
+    try:
+        compiled, hit = cache.get_or_compile(
+            family_key(pipeline, workload, family), factory,
+            guard_flip=(outcome == "guard_miss"))
+    finally:
+        # guards are complete once the compile owner returns (waiters
+        # only get here after the owner's in-flight event fires), so
+        # the family may now admit other members; seal() is idempotent
+        family.seal()
+    return compiled, hit, family, outcome
+
+
 def compile_cached_status(pipeline: Pipeline, workload: Workload,
                           example_args=None,
-                          cache: Optional[CompileCache] = None
+                          cache: Optional[CompileCache] = None,
+                          dynamic_shapes: bool = False
                           ) -> Tuple[Compiled, bool]:
     """Compile (or fetch) and report this call's own hit/miss status.
 
     ``cache`` defaults to the process-wide cache; the serving layer
     injects its own instance so server metrics are isolated from
-    figure sweeps running in the same process.
+    figure sweeps running in the same process.  ``dynamic_shapes``
+    switches the lookup from concrete-shape keying to family keying
+    (see :func:`compile_cached_family`).
     """
     cache = cache if cache is not None else _compile_cache
+    if dynamic_shapes:
+        compiled, hit, _, _ = compile_cached_family(
+            pipeline, workload, example_args, cache=cache)
+        return compiled, hit
     key = compile_key(pipeline, workload, example_args)
     return cache.get_or_compile(
         key, lambda: pipeline.compile(workload.model_fn,
@@ -301,29 +383,44 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
                  batch_size: int = 1, seq_len: int = 64, seed: int = 0,
                  check: bool = False, measure_wallclock: bool = False,
                  repeats: int = 3,
-                 cache: Optional[CompileCache] = None) -> RunResult:
-    """Execute one (workload, pipeline) pair and price it."""
+                 cache: Optional[CompileCache] = None,
+                 dynamic_shapes: bool = False) -> RunResult:
+    """Execute one (workload, pipeline) pair and price it.
+
+    ``dynamic_shapes`` keys the compile cache on the shape *family* of
+    the inputs instead of their concrete signature, so new batch sizes
+    or sequence lengths inside an existing family replay the cached
+    artifact (0 compiles) instead of recompiling.
+    """
     with obs_trace.span("harness:run_workload", cat="harness",
                         workload=workload, pipeline=pipeline,
                         batch_size=batch_size, seq_len=seq_len):
         return _run_workload_traced(
             workload, pipeline, platform, batch_size, seq_len, seed,
-            check, measure_wallclock, repeats, cache)
+            check, measure_wallclock, repeats, cache, dynamic_shapes)
 
 
 def _run_workload_traced(workload, pipeline, platform, batch_size,
                          seq_len, seed, check, measure_wallclock,
-                         repeats, cache) -> RunResult:
+                         repeats, cache, dynamic_shapes=False) -> RunResult:
     wl = get_workload(workload)
     pipe = get_pipeline(pipeline)
     plat: Platform = get_platform(platform)
     cache = cache if cache is not None else _compile_cache
     args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len, seed=seed)
+    family_id = ""
+    family_outcome = ""
     with obs_trace.span("harness:compile", cat="compile",
                         pipeline=pipeline, workload=workload):
-        compiled, was_hit = compile_cached_status(pipe, wl,
-                                                  example_args=args,
-                                                  cache=cache)
+        if dynamic_shapes:
+            compiled, was_hit, family, family_outcome = \
+                compile_cached_family(pipe, wl, example_args=args,
+                                      cache=cache)
+            family_id = family.family_id
+        else:
+            compiled, was_hit = compile_cached_status(pipe, wl,
+                                                      example_args=args,
+                                                      cache=cache)
 
     run_args = clone_args(args)  # outside the profile: input prep is
     with obs_trace.span("harness:execute", cat="exec",
@@ -365,6 +462,9 @@ def _run_workload_traced(workload, pipeline, platform, batch_size,
         cache_misses=snap.misses,
         cache_hit=was_hit,
         cache_epoch=snap.epoch,
+        cache_guard_misses=snap.guard_misses,
+        family_id=family_id,
+        family_outcome=family_outcome,
         wallclock_s=wallclock,
         served_by=pipeline,
         outputs=outputs if isinstance(outputs, tuple) else (outputs,),

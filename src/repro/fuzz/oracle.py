@@ -19,7 +19,13 @@ For a generated (or corpus) program the oracle:
    optionally demands the printer/parser round-trip be a fixed point;
 5. asserts profiler conservation laws — a memory pool may only reuse
    bytes that were previously released (``bytes_reused <=
-   bytes_freed``), and the arena peak equals fresh growth.
+   bytes_freed``), and the arena peak equals fresh growth;
+6. replays the program at several *row extents* through the symbolic
+   shape-family path (``repro.symshape``): all extents must resolve to
+   **one** family on the TensorSSA pipeline (first ``new``, rest
+   ``hit``) and the single compiled artifact must stay bit-exact
+   against eager at every extent — the fuzzed counterpart of the
+   serving layer's duck-shaped compile cache.
 
 Any violation is returned as a :class:`FuzzFailure` (never raised), so
 the driving loop can hand it straight to the shrinker.
@@ -41,7 +47,8 @@ from ..ir import parse_graph, print_graph, verify, verify_mutations
 from ..ir.verifier import VerificationError
 from ..pipelines import registry as pipeline_registry
 from ..pipelines.base import Pipeline
-from .generator import FuzzProgram, make_inputs
+from ..symshape.family import FamilyTable, compiling_family
+from .generator import FuzzProgram, PROGRAM_COLS, make_inputs
 
 __all__ = ["CorpusProgram", "FuzzFailure", "OracleConfig",
            "all_pipeline_names", "materialize", "run_oracle",
@@ -95,6 +102,10 @@ class OracleConfig:
     pipelines: Optional[Sequence] = None
     check_graph: bool = True
     check_roundtrip: bool = True
+    #: replay at several row extents through one shape family (check 6)
+    check_families: bool = True
+    #: row extents for the family replay; first one seeds the family
+    family_extents: Tuple[int, ...] = (4, 6, 8)
     #: (flag, n) input variants; None uses the generator's defaults
     variants: Optional[Sequence[Tuple[bool, int]]] = None
 
@@ -107,7 +118,7 @@ class FuzzFailure:
     pipeline: str
     kind: str       # compile-error | runtime-error | output-mismatch |
                     # input-mutation | graph-invariant | roundtrip |
-                    # profile-invariant
+                    # profile-invariant | family-split
     detail: str
     variant: Optional[Tuple[bool, int]] = None
     ir: str = field(default="", repr=False)
@@ -198,6 +209,85 @@ def _check_profile(prof) -> Optional[str]:
     return None
 
 
+def _check_families(program: FuzzProgram, fn: Callable,
+                    config: OracleConfig) -> Optional[FuzzFailure]:
+    """Oracle check 6: many extents, one family, one artifact, bit-exact.
+
+    Replays the program on the TensorSSA pipeline (the paper pipeline,
+    whose artifacts are shape-polymorphic) at each row extent in
+    ``config.family_extents``, resolving every extent's input signature
+    against one private :class:`~repro.symshape.FamilyTable`.  The
+    first extent must mint the family (outcome ``new``); every later
+    extent must land in it (outcome ``hit``) and be served by the
+    artifact compiled at the first extent, bit-exactly.
+
+    Generated programs may hard-code row windows (``y[0:4]``) whose
+    *eager* semantics only hold near the generator's shape — an extent
+    where the eager reference itself raises is skipped rather than
+    reported, because the family contract only covers shapes the
+    program is defined on.
+    """
+    pipe = pipeline_registry.get_pipeline("tensorssa")
+    _, default_variants = make_inputs(program.seed)
+    flag, n = list(config.variants or default_variants)[0]
+    families = FamilyTable()
+    compiled = None
+    seed_family = None
+    step = 0
+    for rows in config.family_extents:
+        rng = np.random.RandomState((program.seed ^ 0x5EED) + rows)
+        x_data = rng.uniform(-1.0, 1.0,
+                             size=(rows, PROGRAM_COLS)).astype(np.float32)
+        try:
+            expected = fn(rt.from_numpy(x_data), flag, n)
+        except Exception:
+            if step == 0:
+                return None  # not even the seed extent is runnable
+            continue  # program not shape-polymorphic at this extent
+        signature = ((rows, PROGRAM_COLS), flag, n)
+        family, outcome = families.resolve((pipe.name, program.name),
+                                           signature)
+        expect = "new" if step == 0 else "hit"
+        if outcome != expect:
+            detail = (f"extent rows={rows} resolved as {outcome!r} "
+                      f"(expected {expect!r})")
+            if seed_family is not None:
+                detail += f"; seed family was {seed_family.describe()}"
+            return FuzzFailure(program, pipe.name, "family-split", detail,
+                               variant=(flag, n))
+        if step == 0:
+            seed_family = family
+            try:
+                try:
+                    with compiling_family(family):
+                        compiled = pipe.compile(
+                            fn, example_args=(rt.from_numpy(x_data),
+                                              flag, n))
+                finally:
+                    family.seal()
+            except Exception as exc:
+                return FuzzFailure(program, pipe.name, "compile-error",
+                                   f"family compile: "
+                                   f"{type(exc).__name__}: {exc}",
+                                   variant=(flag, n))
+        try:
+            got = compiled(rt.from_numpy(x_data), flag, n)
+        except Exception as exc:
+            return FuzzFailure(program, pipe.name, "runtime-error",
+                               f"family artifact at rows={rows}: "
+                               f"{type(exc).__name__}: {exc}",
+                               variant=(flag, n))
+        mismatch = _diff_outputs(expected, got)
+        if mismatch is not None:
+            return FuzzFailure(
+                program, pipe.name, "output-mismatch",
+                f"family artifact (compiled at rows="
+                f"{config.family_extents[0]}) diverges at rows={rows}: "
+                f"{mismatch}", variant=(flag, n))
+        step += 1
+    return None
+
+
 def _pipeline_instances(config: OracleConfig) -> List[Pipeline]:
     names = config.pipelines or all_pipeline_names()
     return [pipeline_registry.get_pipeline(n) if isinstance(n, str) else n
@@ -271,4 +361,9 @@ def run_oracle(program: FuzzProgram,
                 return FuzzFailure(program, pipe.name, "profile-invariant",
                                    profile_issue, variant=(flag, n),
                                    ir=ir_text)
+
+    if config.check_families:
+        failure = _check_families(program, fn, config)
+        if failure is not None:
+            return failure
     return None

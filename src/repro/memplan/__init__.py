@@ -22,7 +22,7 @@ Three layers:
 
 from .liveness import LifetimeClass, Liveness, compute_liveness
 from .planner import (MemoryPlan, PlanSlot, ReuseEdge, format_plan,
-                      get_or_build_plan, plan_graph)
+                      get_or_build_plan, plan_graph, plans_built)
 
 __all__ = [
     "LifetimeClass",
@@ -34,4 +34,5 @@ __all__ = [
     "plan_graph",
     "get_or_build_plan",
     "format_plan",
+    "plans_built",
 ]

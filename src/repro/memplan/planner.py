@@ -30,21 +30,39 @@ from ..obs import trace as obs_trace
 from .liveness import LifetimeClass, Liveness, compute_liveness
 
 __all__ = ["MemoryPlan", "PlanSlot", "ReuseEdge", "plan_graph",
-           "get_or_build_plan", "format_plan"]
+           "get_or_build_plan", "format_plan", "plans_built"]
 
 _DTYPE_BYTES = {"float32": 4, "float64": 8, "int64": 8, "int32": 4,
                 "bool": 1}
 
 
-def _static_nbytes(value: Value) -> Optional[int]:
-    """Byte size of a value when its type carries full shape/dtype."""
+def _static_nbytes(value: Value,
+                   size_env: Optional[Dict[str, int]] = None
+                   ) -> Optional[int]:
+    """Byte size of a value when its type carries full shape/dtype.
+
+    Falls back to the graph's propagated symbolic shapes
+    (``graph._symshapes``, see :mod:`repro.symshape.propagate`)
+    evaluated under ``size_env`` — a shape family's max-extent bounds —
+    so dynamic-shape artifacts still get best-fit hints.  Hints only
+    order slot packing; the runtime pool re-fits by actual bytes.
+    """
     typ = value.type
-    if not isinstance(typ, T.TensorType) or typ.shape is None:
+    if isinstance(typ, T.TensorType) and typ.shape is not None:
+        numel = 1
+        for dim in typ.shape:
+            numel *= int(dim)
+        return numel * _DTYPE_BYTES.get(typ.dtype or "float32", 4)
+    if size_env is None:
         return None
-    numel = 1
-    for dim in typ.shape:
-        numel *= int(dim)
-    return numel * _DTYPE_BYTES.get(typ.dtype or "float32", 4)
+    graph = value.node.graph if value.node is not None else (
+        value.param_block.graph if value.param_block is not None else None)
+    if graph is None:
+        return None
+    from ..symshape.propagate import symbolic_nbytes, symbolic_shape_of
+    shape = symbolic_shape_of(graph, value)
+    dtype = typ.dtype if isinstance(typ, T.TensorType) else None
+    return symbolic_nbytes(shape, dtype, size_env)
 
 
 @dataclass
@@ -125,23 +143,39 @@ class MemoryPlan:
         }
 
 
-def plan_graph(graph: Graph,
-               alias: Optional[AliasGraph] = None) -> MemoryPlan:
-    """Compute liveness and assign slots; the full planning entry point."""
+def plan_graph(graph: Graph, alias: Optional[AliasGraph] = None,
+               size_env: Optional[Dict[str, int]] = None) -> MemoryPlan:
+    """Compute liveness and assign slots; the full planning entry point.
+
+    ``size_env`` (symbol name -> max extent, from a shape family's
+    bounds) lets symbolic shapes price best-fit hints; omit it for
+    fully concrete graphs.
+    """
     liveness = compute_liveness(graph, alias=alias)
     plan = MemoryPlan(graph=graph, liveness=liveness)
-    _assign_slots(plan)
+    _assign_slots(plan, size_env=size_env)
     _collect_reuse_edges(plan)
     return plan
 
 
 _plan_lock = threading.Lock()
+_plans_built = 0
 
 
-def get_or_build_plan(graph: Graph) -> MemoryPlan:
+def plans_built() -> int:
+    """How many plans this process has actually computed (memoized
+    replays do not count) — the observable the warm-family acceptance
+    check reads: a family hit must add 0 to this."""
+    return _plans_built
+
+
+def get_or_build_plan(graph: Graph,
+                      size_env: Optional[Dict[str, int]] = None
+                      ) -> MemoryPlan:
     """The memoized plan for a graph (cached on the graph object, so a
     compiled artifact plans exactly once — the lock keeps that true
     when concurrent serving workers share the artifact)."""
+    global _plans_built
     plan = getattr(graph, "_memplan", None)
     if plan is None or plan.graph is not graph:
         with _plan_lock:
@@ -149,12 +183,14 @@ def get_or_build_plan(graph: Graph) -> MemoryPlan:
             if plan is None or plan.graph is not graph:
                 with obs_trace.span("memplan:plan", cat="compile",
                                     graph=graph.name):
-                    plan = plan_graph(graph)
+                    plan = plan_graph(graph, size_env=size_env)
+                _plans_built += 1
                 graph._memplan = plan
     return plan
 
 
-def _assign_slots(plan: MemoryPlan) -> None:
+def _assign_slots(plan: MemoryPlan,
+                  size_env: Optional[Dict[str, int]] = None) -> None:
     """Greedy linear scan, per home block (lifetimes in different blocks
     use block-local coordinates and are not comparable)."""
     by_block: Dict[int, List[LifetimeClass]] = {}
@@ -172,7 +208,7 @@ def _assign_slots(plan: MemoryPlan) -> None:
                 if other.interval[1] < start:
                     active.remove(other)
                     free.append(plan.slots[other.slot])
-            hint = _static_nbytes(cls.origin)
+            hint = _static_nbytes(cls.origin, size_env=size_env)
             slot = _best_fit(free, hint)
             if slot is None:
                 slot = PlanSlot(index=len(plan.slots))

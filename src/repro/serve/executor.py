@@ -46,11 +46,14 @@ import repro.runtime as rt
 from ..degrade import BreakerRegistry, RetryPolicy, fallback_chain
 from ..errors import (CompileError, DeadlineExceeded, classify,
                       is_retryable)
-from ..eval.harness import CompileCache, clone_args, compile_key
+from ..eval.harness import (CompileCache, clone_args,
+                            compile_cached_family, compile_key,
+                            family_key)
 from ..eval.platforms import Platform, get_platform
 from ..faults import SITE_BATCH_EXEC, maybe_inject
 from ..obs import trace as obs_trace
 from ..pipelines import Pipeline, get_pipeline
+from ..symshape.bucketing import get_pad_spec
 from .batching import BatchPlan, coalesce, scatter
 from .policy import VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO, ServePolicy
 from .request import (Request, Response, STATUS_ERROR, STATUS_OK,
@@ -143,13 +146,20 @@ class BatchExecutor:
 
     def _coalesce(self, requests: List[Request]) -> BatchPlan:
         """Coalesce under a ``serve:coalesce`` span, stamping each
-        member's timeline with the batch it rode in."""
+        member's timeline with the batch it rode in.  Under dynamic
+        shapes the plan pads to the group's bucket and the pad traffic
+        (real vs padded sequence units) is recorded on the stats."""
+        bucket_min = self.policy.bucket_min \
+            if self.policy.dynamic_shapes else None
         with obs_trace.span("serve:coalesce", cat="serve",
                             requests=len(requests)):
-            plan = coalesce(requests)
+            plan = coalesce(requests, bucket_min=bucket_min)
+        if plan.padded_units:
+            self.stats.on_bucket(plan.real_units, plan.padded_units)
         for req in requests:
             req.mark("coalesce", batch_requests=len(requests),
-                     batch_rows=plan.total_rows)
+                     batch_rows=plan.total_rows,
+                     pad_bucket=plan.pad_bucket)
         return plan
 
     def _drop_expired(self, requests: Sequence[Request]) -> List[Request]:
@@ -293,16 +303,30 @@ class BatchExecutor:
         req0 = plan.requests[0]
         pipe = self.pipeline(pipeline_name or req0.pipeline)
         wl = req0.workload
+        dyn = self.policy.dynamic_shapes
         key = compile_key(pipe, wl, plan.args)
+        if dyn:
+            # family keying: an artifact is "cached" when some sealed
+            # family admits this signature and its entry is resident
+            fam = self.cache.families.peek((pipe.name, wl.name), key[2])
+            cached = fam is not None and \
+                family_key(pipe, wl, fam) in self.cache
+        else:
+            cached = key in self.cache
 
-        if self._should_skip_cold_compile(plan, key):
+        if self._should_skip_cold_compile(plan, cached):
             self._run_eager_each(plan.requests, reason="deadline near")
             return
 
         try:
-            compiled, hit = self.cache.get_or_compile(
-                key, lambda: pipe.compile(wl.model_fn,
-                                          example_args=plan.args))
+            if dyn:
+                compiled, hit, family, _ = compile_cached_family(
+                    pipe, wl, plan.args, cache=self.cache,
+                    mod_hints=self._mod_hints(wl, plan))
+            else:
+                compiled, hit = self.cache.get_or_compile(
+                    key, lambda: pipe.compile(wl.model_fn,
+                                              example_args=plan.args))
         except Exception as exc:
             err = classify(exc)
             if not isinstance(err, CompileError):
@@ -360,14 +384,28 @@ class BatchExecutor:
                 exec_wall_s=wall, cache_hit=hit, verified=verified),
                 fallback=depth > 0)
 
-    def _should_skip_cold_compile(self, plan: BatchPlan, key: tuple) -> bool:
+    def _should_skip_cold_compile(self, plan: BatchPlan,
+                                  cached: bool) -> bool:
         """Deadline-near policy: don't start a cold compile when any
         member's remaining budget is inside the slack window."""
-        if not self.policy.eager_fallback or key in self.cache:
+        if not self.policy.eager_fallback or cached:
             return False
         now = time.monotonic()
         return any(r.remaining(now) < self.policy.deadline_slack_s
                    for r in plan.requests)
+
+    def _mod_hints(self, wl, plan: BatchPlan):
+        """Divisibility hints for a padded plan: every padded axis is a
+        multiple of ``bucket_min`` (buckets are ``bucket_min * 2^k``),
+        so a freshly minted family may guard on it."""
+        if plan.pad_bucket is None:
+            return ()
+        pad_spec = get_pad_spec(wl.name)
+        if pad_spec is None:
+            return ()
+        return tuple((i, axis, self.policy.bucket_min)
+                     for i, axis in enumerate(pad_spec.arg_axes)
+                     if axis is not None)
 
     # -- oracles --------------------------------------------------------
 

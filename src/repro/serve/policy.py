@@ -75,6 +75,17 @@ class ServePolicy:
     retry_jitter: float = 0.5
     #: seed of the executor's jitter RNG (deterministic backoff in tests)
     retry_seed: int = 0
+    #: key compiles on shape *families* (repro.symshape) instead of
+    #: concrete signatures, and bucket variable sequence lengths into
+    #: power-of-two pads so near-miss lengths share one batch and one
+    #: artifact.  Requires ``verify`` "off" or "batch": the batch
+    #: oracle runs eager on the identical padded inputs, whereas
+    #: "solo" would compare against the unpadded request and flag
+    #: legitimate padded-state differences (e.g. an LSTM's final
+    #: h/c reflect the padded-length run) as divergence.
+    dynamic_shapes: bool = False
+    #: smallest padding bucket; buckets are ``bucket_min * 2^k``
+    bucket_min: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -85,3 +96,10 @@ class ServePolicy:
             raise ValueError("queue_capacity must be >= 1")
         if self.verify not in (VERIFY_OFF, VERIFY_BATCH, VERIFY_SOLO):
             raise ValueError(f"unknown verify mode {self.verify!r}")
+        if self.bucket_min < 1:
+            raise ValueError("bucket_min must be >= 1")
+        if self.dynamic_shapes and self.verify == VERIFY_SOLO:
+            raise ValueError(
+                "dynamic_shapes requires verify='batch' or 'off': the "
+                "solo oracle compares against unpadded inputs and would "
+                "flag padded recurrent state as divergence")

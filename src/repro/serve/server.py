@@ -127,7 +127,9 @@ class Server:
                     raise ServerShutdown(
                         "server shut down while the submit was waiting "
                         "for queue space")
-            key = group_key(req)
+            key = group_key(req, bucket_min=(
+                self.policy.bucket_min
+                if self.policy.dynamic_shapes else None))
             queue = self._groups.get(key)
             if queue is None:
                 queue = deque()

@@ -66,6 +66,8 @@ class ServerStats:
         self._verified = reg.counter("serve.verified")
         self._degraded = reg.counter("serve.degraded")
         self._batches = reg.counter("serve.batches_executed")
+        self._bucket_real = reg.counter("serve.bucket_real_units")
+        self._bucket_padded = reg.counter("serve.bucket_padded_units")
         self._cache_hits = reg.counter("serve.request_cache_hits")
         self._cache_misses = reg.counter("serve.request_cache_misses")
         self._queue_depth = reg.gauge("serve.queue_depth")
@@ -99,6 +101,13 @@ class ServerStats:
         """One batch of ``n_requests`` was handed to the executor."""
         self._batches.inc()
         self._batch_sizes.inc(n_requests)
+
+    def on_bucket(self, real_units: int, padded_units: int) -> None:
+        """One bucketed plan executed: ``real_units`` requested
+        sequence units ran as ``padded_units`` after power-of-two
+        padding (their ratio is the pad efficiency)."""
+        self._bucket_real.inc(real_units)
+        self._bucket_padded.inc(padded_units)
 
     def on_response(self, status: str, latency_s: float,
                     queue_wait_s: float, cache_hit: bool,
@@ -214,6 +223,23 @@ class ServerStats:
         return self._cache_misses.value
 
     @property
+    def bucket_real_units(self) -> int:
+        """Sequence units requested across all bucketed plans."""
+        return self._bucket_real.value
+
+    @property
+    def bucket_padded_units(self) -> int:
+        """Sequence units executed after padding (>= real units)."""
+        return self._bucket_padded.value
+
+    @property
+    def bucket_pad_efficiency(self) -> float:
+        """real / padded sequence units (1.0 = no padding waste; 0.0
+        when no bucketed plan has executed)."""
+        padded = self._bucket_padded.value
+        return self._bucket_real.value / padded if padded else 0.0
+
+    @property
     def queue_depth_peak(self) -> int:
         """Deepest the queue ever got (high-water mark)."""
         return int(self._queue_depth.peak)
@@ -267,6 +293,9 @@ class ServerStats:
             "queue_depth_peak": self.queue_depth_peak,
             "request_cache_hits": self.cache_hits,
             "request_cache_misses": self.cache_misses,
+            "bucket_real_units": self.bucket_real_units,
+            "bucket_padded_units": self.bucket_padded_units,
+            "bucket_pad_efficiency": self.bucket_pad_efficiency,
         }
         out["cache_hit_rate"] = (
             out["request_cache_hits"] /
@@ -278,7 +307,8 @@ class ServerStats:
         if snap is not None:
             out["compile_cache"] = {
                 "epoch": snap.epoch, "hits": snap.hits,
-                "misses": snap.misses, "size": snap.size,
+                "misses": snap.misses,
+                "guard_misses": snap.guard_misses, "size": snap.size,
                 "capacity": snap.capacity, "hit_rate": snap.hit_rate,
             }
         return out

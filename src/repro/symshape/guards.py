@@ -1,0 +1,145 @@
+"""Shape guards: the predicates under which a compiled artifact is valid.
+
+A :class:`Guard` is one predicate over a family's symbolic dims —
+``s0 == 16`` (specialization equality, recorded when a tracing pass
+folds a size query into a constant), ``s0 >= 2`` (the implicit range of
+every duck symbol, since extents 0/1 specialize), or ``s0 % 8 == 0``
+(alignment/bucketing divisibility).  A :class:`GuardSet` collects them
+deduplicated and answers the only question that matters at cache-lookup
+time: *does this concrete binding satisfy every guard?* — if yes, the
+family's artifact serves the new shape with zero compiles; if a guard
+flips, the caller records a ``guard_miss`` and compiles a new family.
+
+Symbol-symbol equalities (``s0 == s1``) never appear here explicitly:
+duck shaping merges equal extents into one symbol, so those equalities
+are enforced structurally by
+:meth:`repro.symshape.family.ShapeFamily.bind`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .symbols import SymInt
+
+__all__ = ["Guard", "GuardSet", "guard_eq", "guard_ge", "guard_mod"]
+
+#: guard kinds: lhs == rhs · lhs >= rhs · lhs % rhs == aux
+KIND_EQ = "eq"
+KIND_GE = "ge"
+KIND_MOD = "mod"
+
+
+class Guard:
+    """One predicate over symbolic dims; immutable and hashable."""
+
+    __slots__ = ("kind", "lhs", "rhs", "aux", "_hash")
+
+    def __init__(self, kind: str, lhs: SymInt, rhs: int,
+                 aux: int = 0) -> None:
+        if kind not in (KIND_EQ, KIND_GE, KIND_MOD):
+            raise ValueError(f"unknown guard kind {kind!r}")
+        if kind == KIND_MOD and rhs <= 0:
+            raise ValueError("mod guard needs a positive divisor")
+        self.kind = kind
+        self.lhs = lhs
+        self.rhs = int(rhs)
+        self.aux = int(aux)
+        self._hash = hash((kind, lhs, self.rhs, self.aux))
+
+    def holds(self, env: Dict[str, int]) -> bool:
+        """Evaluate the predicate under a concrete symbol binding."""
+        try:
+            value = self.lhs.evaluate(env)
+        except KeyError:
+            return False
+        if self.kind == KIND_EQ:
+            return value == self.rhs
+        if self.kind == KIND_GE:
+            return value >= self.rhs
+        return value % self.rhs == self.aux
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Guard):
+            return NotImplemented
+        return (self.kind == other.kind and self.lhs == other.lhs
+                and self.rhs == other.rhs and self.aux == other.aux)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.kind == KIND_EQ:
+            return f"{self.lhs!r} == {self.rhs}"
+        if self.kind == KIND_GE:
+            return f"{self.lhs!r} >= {self.rhs}"
+        return f"{self.lhs!r} % {self.rhs} == {self.aux}"
+
+
+def guard_eq(lhs: SymInt, rhs: int) -> Guard:
+    """Specialization equality: ``lhs == rhs``."""
+    return Guard(KIND_EQ, lhs, rhs)
+
+
+def guard_ge(lhs: SymInt, rhs: int) -> Guard:
+    """Lower bound: ``lhs >= rhs``."""
+    return Guard(KIND_GE, lhs, rhs)
+
+
+def guard_mod(lhs: SymInt, divisor: int, remainder: int = 0) -> Guard:
+    """Divisibility: ``lhs % divisor == remainder``."""
+    return Guard(KIND_MOD, lhs, divisor, remainder)
+
+
+class GuardSet:
+    """An ordered, deduplicated collection of guards.
+
+    Order is insertion order (stable for display and for ``check``'s
+    "first failing guard" report); a trivially-constant guard that
+    already holds is dropped at ``add`` time, and a constant guard that
+    can never hold raises immediately — recording it would mean the
+    artifact is valid for *no* shape, which is a compiler bug.
+    """
+
+    def __init__(self, guards: Iterable[Guard] = ()) -> None:
+        self._guards: List[Guard] = []
+        self._seen = set()
+        for g in guards:
+            self.add(g)
+
+    def add(self, guard: Guard) -> bool:
+        """Record a guard; returns True if it was new."""
+        if guard.lhs.is_const:
+            if guard.holds({}):
+                return False  # vacuous: drop
+            raise ValueError(f"unsatisfiable constant guard: {guard!r}")
+        if guard in self._seen:
+            return False
+        self._seen.add(guard)
+        self._guards.append(guard)
+        return True
+
+    def check(self, env: Dict[str, int]) -> Optional[Guard]:
+        """The first guard the binding violates, or None if all hold."""
+        for g in self._guards:
+            if not g.holds(env):
+                return g
+        return None
+
+    def __iter__(self):
+        return iter(self._guards)
+
+    def __len__(self) -> int:
+        return len(self._guards)
+
+    def __contains__(self, guard: Guard) -> bool:
+        return guard in self._seen
+
+    def describe(self) -> str:
+        """Human-readable conjunction, e.g. ``s0 >= 2 and s0 % 8 == 0``."""
+        if not self._guards:
+            return "(no guards)"
+        return " and ".join(repr(g) for g in self._guards)
+
+    def __repr__(self) -> str:
+        return f"GuardSet[{self.describe()}]"

@@ -1,5 +1,7 @@
 """repro.tools — developer introspection utilities."""
 
-from .inspect import inspect_workload, op_histogram, print_report
+from .inspect import (inspect_dynamic, inspect_workload, op_histogram,
+                      print_dynamic_report, print_report)
 
-__all__ = ["inspect_workload", "op_histogram", "print_report"]
+__all__ = ["inspect_dynamic", "inspect_workload", "op_histogram",
+           "print_dynamic_report", "print_report"]

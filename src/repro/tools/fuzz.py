@@ -85,12 +85,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write minimized failures as JSON entries")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report raw failures without minimizing")
+    parser.add_argument("--no-family-check", action="store_true",
+                        help="skip the multi-extent shape-family replay "
+                             "(oracle check 6)")
+    parser.add_argument("--family-extents", type=str, default="4,6,8",
+                        help="comma-separated row extents for the "
+                             "family replay (first seeds the family)")
     parser.add_argument("--max-failures", type=int, default=5,
                         help="stop after this many failing seeds")
     args = parser.parse_args(argv)
 
     pipelines = args.pipelines.split(",") if args.pipelines else None
-    config = OracleConfig(pipelines=pipelines)
+    config = OracleConfig(
+        pipelines=pipelines,
+        check_families=not args.no_family_check,
+        family_extents=tuple(int(e) for e in
+                             args.family_extents.split(",") if e.strip()))
     shown = pipelines or all_pipeline_names()
     print(f"fuzzing seeds {args.seed}..{args.seed + args.count - 1} "
           f"against: {', '.join(shown)}")

@@ -76,10 +76,87 @@ def inspect_workload(name: str, platform: str = "datacenter",
     snap = compile_cache_stats()
     report["__cache__"] = {
         "epoch": snap.epoch, "hits": snap.hits, "misses": snap.misses,
+        "guard_misses": snap.guard_misses,
         "size": snap.size, "capacity": snap.capacity,
         "hit_rate": snap.hit_rate,
     }
     return report
+
+
+def inspect_dynamic(name: str, seq_lens=(16, 24), batch_size: int = 2,
+                    pipeline: str = "tensorssa") -> Dict[str, object]:
+    """Warm-family walkthrough: serve several lengths off one compile.
+
+    Compiles ``name`` through the family-keyed cache path at the first
+    sequence length, then looks up each subsequent length; for every
+    step the report records the family id, the resolve outcome
+    (``new`` / ``hit`` / ``guard_miss``), how many compiles and memory
+    plans the step added, and whether the output matched eager
+    bit-exactly.  On the family pipeline a warm step should add **zero**
+    of both — that is the "second length in the family is free" claim
+    of the symbolic-shape design, made observable.
+    """
+    import numpy as np
+    from ..eval.harness import CompileCache, compile_cached_family
+    from ..memplan.planner import plans_built
+
+    wl = get_workload(name)
+    pipe = next(p for p in default_pipelines() if p.name == pipeline)
+    cache = CompileCache()
+    steps: List[dict] = []
+    for seq_len in seq_lens:
+        args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len)
+        compiles0 = cache.snapshot()
+        plans0 = plans_built()
+        compiled, hit, family, outcome = compile_cached_family(
+            pipe, wl, args, cache=cache)
+        snap = cache.snapshot()
+        got = compiled(*clone_args(args))
+        want = wl.model_fn(*clone_args(args))
+        got = got if isinstance(got, tuple) else (got,)
+        want = want if isinstance(want, tuple) else (want,)
+        steps.append({
+            "seq_len": seq_len,
+            "family": family.family_id,
+            "outcome": outcome,
+            "compiles_added": (snap.misses + snap.guard_misses
+                               - compiles0.misses - compiles0.guard_misses),
+            "plans_added": plans_built() - plans0,
+            "bit_exact": all(np.array_equal(g, w)
+                             for g, w in zip(got, want)),
+        })
+    families = {f.family_id: f.describe()
+                for f in cache.families.all_families()}
+    return {"workload": name, "pipeline": pipeline, "steps": steps,
+            "families": families}
+
+
+def print_dynamic_report(report: Dict[str, object]) -> int:
+    """Pretty-print an :func:`inspect_dynamic` report.
+
+    Returns the number of violations: every step must be bit-exact,
+    and every warm step (after the first) must be a family ``hit``
+    that added 0 compiles and 0 memory plans — which makes this
+    directly usable as a CI gate.
+    """
+    print(f"=== {report['workload']} ({report['pipeline']}, "
+          f"dynamic shapes) ===")
+    violations = 0
+    for i, step in enumerate(report["steps"]):
+        warm_ok = (i == 0 or (step["outcome"] == "hit"
+                              and step["compiles_added"] == 0
+                              and step["plans_added"] == 0))
+        ok = warm_ok and step["bit_exact"]
+        violations += 0 if ok else 1
+        print(f"  seq_len={step['seq_len']:<4} family={step['family']} "
+              f"outcome={step['outcome']:<10} "
+              f"compiles+{step['compiles_added']} "
+              f"plans+{step['plans_added']} "
+              f"bit_exact={step['bit_exact']}"
+              + ("" if ok else "  <-- VIOLATION"))
+    for fid, desc in report["families"].items():
+        print(f"  {desc}")
+    return violations
 
 
 def _fmt_hist(hist: Dict[str, int], top: int = 8) -> str:
@@ -96,6 +173,7 @@ def print_report(name: str, report: Dict[str, dict],
     if cache:
         print(f"compile cache: epoch={cache['epoch']} "
               f"hits={cache['hits']} misses={cache['misses']} "
+              f"guard_misses={cache.get('guard_misses', 0)} "
               f"size={cache['size']}/{cache['capacity']}")
     for pipe, entry in report.items():
         if pipe.startswith("__"):
@@ -129,15 +207,23 @@ def print_report(name: str, report: Dict[str, dict],
             print("  " + format_plan(entry["plan"]).replace("\n", "\n  "))
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    """CLI entry point."""
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; with ``--dynamic`` the exit status counts
+    warm-family violations (non-hit / extra compile / extra plan /
+    divergent steps), otherwise it is 0."""
     argv = argv if argv is not None else sys.argv[1:]
     show_plan = "--plan" in argv
+    dynamic = "--dynamic" in argv
     names = [a for a in argv if not a.startswith("-")] or ["lstm"]
+    violations = 0
     for name in names:
-        print_report(name, inspect_workload(name), show_plan=show_plan)
+        if dynamic:
+            violations += print_dynamic_report(inspect_dynamic(name))
+        else:
+            print_report(name, inspect_workload(name), show_plan=show_plan)
         print()
+    return violations
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -14,12 +14,26 @@ Results (throughput, latency percentiles, batch histogram, cache hit
 rates, speedup) are printed and written to ``results/serve_bench.json``.
 Exit status is the number of dropped/diverging requests across all
 runs, so CI can gate on it directly.
+
+``--dynamic-shapes`` switches the benchmark into the symbolic-shape
+comparison instead: every request draws a *seeded random* sequence
+length from ``[--dyn-seq-min, --dyn-seq-max]`` and each workload is
+served twice — once with family-keyed compilation plus power-of-two
+bucketing (``ServePolicy(dynamic_shapes=True)``) and once with plain
+concrete shape keying.  The report then carries compiles-per-1k-
+requests (compile-cache misses + guard misses, normalized) and batch
+occupancy (mean batch size / max batch) for both modes, and
+``--min-compile-ratio`` (default 5.0) gates that the family path
+compiles at least that many times less often *and* achieves strictly
+higher occupancy.  All responses stay verified bit-exact against eager
+on the padded batch inputs (``verify="batch"``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import threading
 import time
@@ -56,6 +70,30 @@ def build_request_args(wl: Workload, seq_len: int, count: int
             fresh[k] if axis is not None else base[k]
             for k, axis in enumerate(spec.arg_axes)))
     return out
+
+
+def build_dynamic_pool(wl: Workload, lengths: List[int]) -> List[tuple]:
+    """One request-input tuple per entry of ``lengths``, sharing state.
+
+    Same sharing rule as :func:`build_request_args` — weights and other
+    non-batched arguments come from a single ``make_inputs`` call (they
+    do not depend on the sequence length), while each request's batched
+    arguments are synthesized at its own drawn length.
+    """
+    base = wl.make_inputs(batch_size=1, seq_len=max(lengths),
+                          seed=STATE_SEED)
+    spec = get_batch_spec(wl.name)
+    pool: List[tuple] = []
+    for i, length in enumerate(lengths):
+        fresh = wl.make_inputs(batch_size=1, seq_len=length,
+                               seed=DATA_SEED0 + i)
+        if spec is None:
+            pool.append(tuple(fresh))
+        else:
+            pool.append(tuple(
+                fresh[k] if axis is not None else base[k]
+                for k, axis in enumerate(spec.arg_axes)))
+    return pool
 
 
 def run_load(wl: Workload, args_pool: List[tuple], policy: ServePolicy,
@@ -118,6 +156,58 @@ def run_load(wl: Workload, args_pool: List[tuple], policy: ServePolicy,
     }
 
 
+def _compile_events(run: Dict[str, object]) -> int:
+    """Compilations a run paid for: cache misses + guard-miss recompiles."""
+    cache = run["server"].get("compile_cache") or {}
+    return int(cache.get("misses", 0)) + int(cache.get("guard_misses", 0))
+
+
+def bench_workload_dynamic(name: str, args: argparse.Namespace,
+                           lengths: List[int]) -> Dict[str, object]:
+    """One workload under mixed sequence lengths: family vs concrete keys.
+
+    Both modes serve the identical randomized-length request pool with
+    the same worker/batching policy; only the compile keying differs —
+    ``family`` buckets lengths to powers of two and keys the cache on
+    shape families, ``concrete`` keys on exact shapes (so every novel
+    length is a fresh compile and its own batch group).
+    """
+    wl = get_workload(name)
+    pool = build_dynamic_pool(wl, lengths)
+    common = dict(workers=args.workers, max_batch_size=args.max_batch,
+                  batch_wait_s=args.batch_wait_ms / 1e3,
+                  queue_capacity=args.queue_capacity,
+                  request_timeout_s=args.timeout_s,
+                  verify=("off" if args.no_verify else "batch"))
+    family_policy = ServePolicy(dynamic_shapes=True,
+                                bucket_min=args.bucket_min, **common)
+    concrete_policy = ServePolicy(dynamic_shapes=False, **common)
+
+    runs: Dict[str, Dict[str, object]] = {}
+    for mode, policy in (("family", family_policy),
+                         ("concrete", concrete_policy)):
+        run = run_load(wl, pool, policy, args.requests, args.concurrency,
+                       args.pipeline, args.platform, warmup=args.warmup)
+        run["compiles"] = _compile_events(run)
+        run["compiles_per_1k_requests"] = (
+            run["compiles"] / max(1, args.requests) * 1000.0)
+        run["batch_occupancy"] = (
+            run["mean_batch_requests"] / max(1, args.max_batch))
+        runs[mode] = run
+
+    fam, conc = runs["family"], runs["concrete"]
+    ratio = (conc["compiles"] / fam["compiles"] if fam["compiles"]
+             else float("inf"))
+    return {
+        "workload": name,
+        "family": fam,
+        "concrete": conc,
+        "compile_ratio": ratio,
+        "occupancy_gain": (fam["batch_occupancy"]
+                           - conc["batch_occupancy"]),
+    }
+
+
 def bench_workload(name: str, args: argparse.Namespace
                    ) -> Dict[str, object]:
     """Benchmark one workload: batched policy vs max_batch_size=1."""
@@ -172,6 +262,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless some workload's batched "
                              "throughput beats baseline by this factor")
+    parser.add_argument("--dynamic-shapes", action="store_true",
+                        help="serve seeded randomized sequence lengths "
+                             "and compare family-keyed (bucketed) "
+                             "compilation against concrete shape keys")
+    parser.add_argument("--dyn-seq-min", type=int, default=8,
+                        help="shortest randomized sequence length")
+    parser.add_argument("--dyn-seq-max", type=int, default=48,
+                        help="longest randomized sequence length")
+    parser.add_argument("--shape-seed", type=int, default=0,
+                        help="seed for the random length draws")
+    parser.add_argument("--bucket-min", type=int, default=8,
+                        help="smallest padding bucket in family mode")
+    parser.add_argument("--min-compile-ratio", type=float, default=5.0,
+                        help="dynamic mode: fail a workload whose "
+                             "concrete/family compile ratio is below "
+                             "this (and require strictly higher family "
+                             "batch occupancy)")
     parser.add_argument("--out", type=str,
                         default="results/serve_bench.json")
     args = parser.parse_args(argv)
@@ -182,6 +289,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workloads": [],
     }
     failures = 0
+
+    if args.dynamic_shapes:
+        rng = random.Random(args.shape_seed)
+        lengths = [rng.randint(args.dyn_seq_min, args.dyn_seq_max)
+                   for _ in range(args.distinct_inputs)]
+        report["config"]["lengths"] = lengths
+        for name in names:
+            print(f"[{name}] {args.requests} requests x "
+                  f"{args.concurrency} clients, lengths in "
+                  f"[{args.dyn_seq_min}, {args.dyn_seq_max}] "
+                  f"(seed {args.shape_seed}), max_batch={args.max_batch}")
+            entry = bench_workload_dynamic(name, args, lengths)
+            report["workloads"].append(entry)
+            for mode in ("family", "concrete"):
+                e = entry[mode]
+                failures += e["dropped"] + e["diverged"]
+                print(f"  {mode:<9} {e['throughput_rps']:8.1f} req/s  "
+                      f"compiles {e['compiles']:3d} "
+                      f"({e['compiles_per_1k_requests']:6.1f}/1k)  "
+                      f"occupancy {e['batch_occupancy']:.2f}  "
+                      f"dropped {e['dropped']}  diverged {e['diverged']}")
+            print(f"  compile ratio {entry['compile_ratio']:.1f}x, "
+                  f"occupancy gain {entry['occupancy_gain']:+.2f}")
+            if entry["compile_ratio"] < args.min_compile_ratio:
+                print(f"  FAIL: compile ratio {entry['compile_ratio']:.1f}x"
+                      f" < required {args.min_compile_ratio:.1f}x")
+                failures += 1
+            if entry["occupancy_gain"] <= 0:
+                print("  FAIL: family occupancy not strictly above "
+                      "concrete")
+                failures += 1
+        report["failures"] = failures
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\n{failures} failure(s); wrote {out}")
+        return failures
+
     for name in names:
         print(f"[{name}] {args.requests} requests x {args.concurrency} "
               f"clients, max_batch={args.max_batch} "
