@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Union
 
 __all__ = [
-    "ReproError", "CompileError", "KernelError", "OOMError",
+    "ReproError", "CompileError", "GradError", "KernelError", "OOMError",
     "DeadlineExceeded", "ServerShutdown", "TornStateError",
     "classify", "is_retryable",
 ]
@@ -53,6 +53,18 @@ class CompileError(ReproError):
     pass, or fusion-kernel compilation).  Deterministic: retrying the
     same rung re-runs the same compiler on the same input, so the
     ladder should descend instead."""
+
+    retryable = False
+
+
+class GradError(CompileError):
+    """Reverse-mode differentiation of a graph is impossible or
+    unsupported: an op without a registered VJP on a demanded adjoint
+    path, an op explicitly marked non-differentiable, or a graph shape
+    the adjoint engine cannot invert (residual mutations, dynamic
+    reduction dims).  A :class:`CompileError` because building the
+    backward graph happens at compile time and is deterministic —
+    retrying differentiates the same graph again."""
 
     retryable = False
 

@@ -291,23 +291,26 @@ def _shape_signature(example_args) -> tuple:
 
 
 def compile_key(pipeline: Pipeline, workload: Workload,
-                example_args=None) -> tuple:
+                example_args=None, grad: bool = False) -> tuple:
     """The cache key a (pipeline, workload, inputs) triple compiles
     under — shared with ``repro.serve`` so batcher grouping and cache
-    specialization agree."""
-    return (pipeline.name, workload.name, _shape_signature(example_args))
+    specialization agree.  Backward artifacts (``grad=True``) key
+    separately from forward ones: same program, different graph."""
+    key = (pipeline.name, workload.name, _shape_signature(example_args))
+    return key + ("grad",) if grad else key
 
 
 def family_key(pipeline: Pipeline, workload: Workload,
-               family: ShapeFamily) -> tuple:
+               family: ShapeFamily, grad: bool = False) -> tuple:
     """The cache key a shape family's artifact lives under."""
-    return (pipeline.name, workload.name, "family", family.family_id)
+    key = (pipeline.name, workload.name, "family", family.family_id)
+    return key + ("grad",) if grad else key
 
 
 def compile_cached_family(pipeline: Pipeline, workload: Workload,
                           example_args=None,
                           cache: Optional[CompileCache] = None,
-                          mod_hints=()
+                          mod_hints=(), grad: bool = False
                           ) -> Tuple[Compiled, bool, ShapeFamily, str]:
     """Family-keyed compile: ``(compiled, hit, family, outcome)``.
 
@@ -323,19 +326,23 @@ def compile_cached_family(pipeline: Pipeline, workload: Workload,
     to :meth:`repro.symshape.family.FamilyTable.resolve`.
     """
     cache = cache if cache is not None else _compile_cache
-    prefix = (pipeline.name, workload.name)
+    prefix = (pipeline.name, workload.name, "grad") if grad \
+        else (pipeline.name, workload.name)
     signature = _shape_signature(example_args)
     family, outcome = cache.families.resolve(prefix, signature,
                                              mod_hints=mod_hints)
 
     def factory() -> Compiled:
         with compiling_family(family):
+            if grad:
+                return pipeline.compile_grad(workload.model_fn,
+                                             example_args=example_args)
             return pipeline.compile(workload.model_fn,
                                     example_args=example_args)
 
     try:
         compiled, hit = cache.get_or_compile(
-            family_key(pipeline, workload, family), factory,
+            family_key(pipeline, workload, family, grad=grad), factory,
             guard_flip=(outcome == "guard_miss"))
     finally:
         # guards are complete once the compile owner returns (waiters
@@ -348,7 +355,8 @@ def compile_cached_family(pipeline: Pipeline, workload: Workload,
 def compile_cached_status(pipeline: Pipeline, workload: Workload,
                           example_args=None,
                           cache: Optional[CompileCache] = None,
-                          dynamic_shapes: bool = False
+                          dynamic_shapes: bool = False,
+                          grad: bool = False
                           ) -> Tuple[Compiled, bool]:
     """Compile (or fetch) and report this call's own hit/miss status.
 
@@ -356,14 +364,19 @@ def compile_cached_status(pipeline: Pipeline, workload: Workload,
     injects its own instance so server metrics are isolated from
     figure sweeps running in the same process.  ``dynamic_shapes``
     switches the lookup from concrete-shape keying to family keying
-    (see :func:`compile_cached_family`).
+    (see :func:`compile_cached_family`); ``grad=True`` compiles the
+    backward graph instead of the forward one.
     """
     cache = cache if cache is not None else _compile_cache
     if dynamic_shapes:
         compiled, hit, _, _ = compile_cached_family(
-            pipeline, workload, example_args, cache=cache)
+            pipeline, workload, example_args, cache=cache, grad=grad)
         return compiled, hit
-    key = compile_key(pipeline, workload, example_args)
+    key = compile_key(pipeline, workload, example_args, grad=grad)
+    if grad:
+        return cache.get_or_compile(
+            key, lambda: pipeline.compile_grad(workload.model_fn,
+                                               example_args=example_args))
     return cache.get_or_compile(
         key, lambda: pipeline.compile(workload.model_fn,
                                       example_args=example_args))
@@ -384,25 +397,36 @@ def run_workload(workload: str, pipeline: str, platform: str = "datacenter",
                  check: bool = False, measure_wallclock: bool = False,
                  repeats: int = 3,
                  cache: Optional[CompileCache] = None,
-                 dynamic_shapes: bool = False) -> RunResult:
+                 dynamic_shapes: bool = False,
+                 grad: bool = False) -> RunResult:
     """Execute one (workload, pipeline) pair and price it.
 
     ``dynamic_shapes`` keys the compile cache on the shape *family* of
     the inputs instead of their concrete signature, so new batch sizes
     or sequence lengths inside an existing family replay the cached
     artifact (0 compiles) instead of recompiling.
+
+    ``grad=True`` compiles and executes the *backward* graph (input
+    gradients of the sum-of-outputs loss) instead of the forward one;
+    the execution is additionally timed under a ``harness:backward``
+    span, and ``check=True`` validates the optimized backward against
+    the raw interpreted backward graph (``stats["grad_reference"]``)
+    rather than against the eager forward.
     """
     with obs_trace.span("harness:run_workload", cat="harness",
                         workload=workload, pipeline=pipeline,
-                        batch_size=batch_size, seq_len=seq_len):
+                        batch_size=batch_size, seq_len=seq_len,
+                        grad=grad):
         return _run_workload_traced(
             workload, pipeline, platform, batch_size, seq_len, seed,
-            check, measure_wallclock, repeats, cache, dynamic_shapes)
+            check, measure_wallclock, repeats, cache, dynamic_shapes,
+            grad)
 
 
 def _run_workload_traced(workload, pipeline, platform, batch_size,
                          seq_len, seed, check, measure_wallclock,
-                         repeats, cache, dynamic_shapes=False) -> RunResult:
+                         repeats, cache, dynamic_shapes=False,
+                         grad=False) -> RunResult:
     wl = get_workload(workload)
     pipe = get_pipeline(pipeline)
     plat: Platform = get_platform(platform)
@@ -415,22 +439,34 @@ def _run_workload_traced(workload, pipeline, platform, batch_size,
         if dynamic_shapes:
             compiled, was_hit, family, family_outcome = \
                 compile_cached_family(pipe, wl, example_args=args,
-                                      cache=cache)
+                                      cache=cache, grad=grad)
             family_id = family.family_id
         else:
             compiled, was_hit = compile_cached_status(pipe, wl,
                                                       example_args=args,
-                                                      cache=cache)
+                                                      cache=cache,
+                                                      grad=grad)
 
     run_args = clone_args(args)  # outside the profile: input prep is
     with obs_trace.span("harness:execute", cat="exec",
                         pipeline=pipeline, workload=workload):
         with rt.profile() as prof:  # not part of the measured run
-            outputs = compiled(*run_args)
+            if grad:
+                with obs_trace.span("harness:backward", cat="exec",
+                                    pipeline=pipeline, workload=workload):
+                    outputs = compiled(*run_args)
+            else:
+                outputs = compiled(*run_args)
 
     if check:
         with obs_trace.span("harness:check", cat="verify"):
-            expected = wl.model_fn(*clone_args(args))
+            if grad:
+                # the correctness oracle for an optimized backward is
+                # the raw (pre-optimization) backward graph, interpreted
+                expected = compiled.stats["grad_reference"](
+                    *clone_args(args))
+            else:
+                expected = wl.model_fn(*clone_args(args))
             _assert_equal(outputs, expected, workload, pipeline)
 
     wallclock = None

@@ -25,7 +25,13 @@ For a generated (or corpus) program the oracle:
    **one** family on the TensorSSA pipeline (first ``new``, rest
    ``hit``) and the single compiled artifact must stay bit-exact
    against eager at every extent — the fuzzed counterpart of the
-   serving layer's duck-shaped compile cache.
+   serving layer's duck-shaped compile cache;
+7. builds the **backward graph** of differentiable programs
+   (``repro.grad``) and demands the optimized backward be bit-exact
+   with the raw interpreted backward at every variant, and the
+   interpreted backward match central finite differences at float64
+   (kinked elements skipped) — programs ``grad()`` refuses with a
+   typed :class:`~repro.errors.GradError` are skipped, not failed.
 
 Any violation is returned as a :class:`FuzzFailure` (never raised), so
 the driving loop can hand it straight to the shrinker.
@@ -106,6 +112,11 @@ class OracleConfig:
     check_families: bool = True
     #: row extents for the family replay; first one seeds the family
     family_extents: Tuple[int, ...] = (4, 6, 8)
+    #: build the backward graph, FD grad-check it, and demand the
+    #: optimized backward be bit-exact with the interpreted one (check 7)
+    check_grad: bool = True
+    #: elements sampled per input by the check-7 FD grad-check
+    grad_samples: int = 4
     #: (flag, n) input variants; None uses the generator's defaults
     variants: Optional[Sequence[Tuple[bool, int]]] = None
 
@@ -118,7 +129,7 @@ class FuzzFailure:
     pipeline: str
     kind: str       # compile-error | runtime-error | output-mismatch |
                     # input-mutation | graph-invariant | roundtrip |
-                    # profile-invariant | family-split
+                    # profile-invariant | family-split | grad-divergence
     detail: str
     variant: Optional[Tuple[bool, int]] = None
     ir: str = field(default="", repr=False)
@@ -288,6 +299,95 @@ def _check_families(program: FuzzProgram, fn: Callable,
     return None
 
 
+def _check_grad(program: FuzzProgram, fn: Callable,
+                config: OracleConfig) -> Optional[FuzzFailure]:
+    """Oracle check 7: the backward graph is correct twice over.
+
+    For differentiable generated programs this builds the backward
+    graph through the TensorSSA pipeline and demands:
+
+    (a) the optimized backward (full pass pipeline + memory plan) be
+        **bit-exact** with the raw interpreted backward graph at
+        float32, for every input variant — fusion/parallelization/
+        planning may not change a single ulp of a gradient;
+    (b) the interpreted backward, evaluated at float64, match central
+        finite differences of the program's sum-of-tensor-outputs
+        loss within the float64 tolerances (kinks and perturbation-
+        flipped branches are detected via one-sided differences and
+        skipped — FD is meaningless at a non-smooth point).
+
+    Programs the gradient pass *refuses* (a typed
+    :class:`~repro.errors.GradError`: residual mutations the
+    conversion skipped, a non-differentiable op on a demanded path)
+    are not failures — check 7 only binds where grad() accepts.
+    """
+    from ..errors import GradError
+    from ..grad.check import GradCheckConfig, gradcheck
+    from ..runtime.creation import promoting_f32_to
+    from ..runtime.dtype import float64
+
+    pipe = pipeline_registry.get_pipeline("tensorssa")
+    x_data, default_variants = make_inputs(program.seed)
+    variants = list(config.variants or default_variants)
+
+    try:
+        compiled = pipe.compile_grad(fn)
+    except GradError:
+        return None  # legitimately non-differentiable: nothing to check
+    except Exception as exc:
+        return FuzzFailure(program, pipe.name, "grad-divergence",
+                           f"backward compile crashed (not a typed "
+                           f"GradError): {type(exc).__name__}: {exc}")
+    reference = compiled.stats["grad_reference"]
+    ir_text = print_graph(compiled.graph) if compiled.graph else ""
+
+    # (a) optimized vs interpreted backward: bit-exact at float32
+    for flag, n in variants:
+        try:
+            got = compiled(rt.from_numpy(x_data), flag, n)
+            want = reference(rt.from_numpy(x_data), flag, n)
+        except Exception as exc:
+            return FuzzFailure(program, pipe.name, "grad-divergence",
+                               f"backward execution raised: "
+                               f"{type(exc).__name__}: {exc}",
+                               variant=(flag, n), ir=ir_text)
+        mismatch = _diff_outputs(want, got)
+        if mismatch is not None:
+            return FuzzFailure(
+                program, pipe.name, "grad-divergence",
+                "optimized backward diverges from interpreted "
+                f"backward: {mismatch}", variant=(flag, n), ir=ir_text)
+
+    # (b) interpreted backward vs central finite differences at float64
+    x64 = x_data.astype(np.float64)
+    flag, n = variants[0]
+
+    def loss(xt, flag_, n_) -> float:
+        with promoting_f32_to(float64):
+            outs = fn(xt.clone(), flag_, n_)
+        outs = outs if isinstance(outs, tuple) else (outs,)
+        return sum(float(o.sum()) for o in outs
+                   if isinstance(o, rt.Tensor))
+
+    with promoting_f32_to(float64):
+        grads = reference(rt.from_numpy(x64), flag, n)
+    grads = grads if isinstance(grads, tuple) else (grads,)
+    result = gradcheck(loss, (rt.from_numpy(x64), flag, n), list(grads),
+                       wrt=[0],
+                       config=GradCheckConfig(
+                           samples_per_input=config.grad_samples,
+                           seed=program.seed))
+    if not result.ok:
+        return FuzzFailure(
+            program, pipe.name, "grad-divergence",
+            "analytic gradient diverges from central finite "
+            f"differences (max rel err {result.max_rel_err:.3g}, "
+            f"{result.checked} checked, {result.skipped} kinks "
+            "skipped):\n" + "\n".join(result.failures[:5]),
+            variant=(flag, n), ir=ir_text)
+    return None
+
+
 def _pipeline_instances(config: OracleConfig) -> List[Pipeline]:
     names = config.pipelines or all_pipeline_names()
     return [pipeline_registry.get_pipeline(n) if isinstance(n, str) else n
@@ -364,6 +464,11 @@ def run_oracle(program: FuzzProgram,
 
     if config.check_families:
         failure = _check_families(program, fn, config)
+        if failure is not None:
+            return failure
+
+    if config.check_grad:
+        failure = _check_grad(program, fn, config)
         if failure is not None:
             return failure
     return None

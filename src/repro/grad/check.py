@@ -1,0 +1,193 @@
+"""Numerical grad-check harness: the correctness wall in front of
+:func:`repro.grad.grad`.
+
+Central finite differences validate analytic gradients element by
+element::
+
+    (f(x + eps*e_k) - f(x - eps*e_k)) / (2*eps)   vs   g[k]
+
+with two defenses real programs need:
+
+* **float64 evaluation** — models run inside
+  :func:`repro.runtime.creation.promoting_f32_to` so scratch buffers
+  allocated at the float32 factory default don't truncate the ~1e-9
+  accuracy central differences reach at float64;
+* **kink detection** — the one-sided forward and backward differences
+  are computed alongside the central one; where they disagree beyond
+  ``kink_tol`` the loss is locally non-smooth at working precision
+  (relu/abs/max ties, or a data-dependent branch/loop flipped under
+  perturbation) and the element is *skipped*, not failed — FD is
+  meaningless there and the analytic subgradient is still valid.
+
+Element sampling is seeded and deterministic; tolerances are per-dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+import repro.runtime as rt
+from ..runtime.creation import promoting_f32_to
+from ..runtime.dtype import float64
+
+__all__ = ["GradCheckConfig", "GradCheckResult", "gradcheck",
+           "check_workload_grad"]
+
+#: per-dtype (eps, rtol, atol) defaults: float64 supports tight
+#: tolerances; float32 FD noise floors out around 1e-3 relative
+_DTYPE_TOLS = {
+    np.dtype(np.float64): (1e-6, 1e-5, 1e-8),
+    np.dtype(np.float32): (1e-3, 1e-2, 1e-3),
+}
+
+
+@dataclass(frozen=True)
+class GradCheckConfig:
+    """Knobs of one grad-check run."""
+
+    #: elements sampled per input tensor (all elements if it has fewer)
+    samples_per_input: int = 8
+    #: RNG seed for element sampling (deterministic across runs)
+    seed: int = 0
+    #: relative disagreement between the one-sided differences beyond
+    #: which an element counts as a kink and is skipped
+    kink_tol: float = 1e-2
+    #: override the per-dtype (eps, rtol, atol) table
+    eps: Optional[float] = None
+    rtol: Optional[float] = None
+    atol: Optional[float] = None
+
+    def tols(self, dtype: np.dtype):
+        """(eps, rtol, atol) for ``dtype``, with overrides applied."""
+        eps, rtol, atol = _DTYPE_TOLS.get(np.dtype(dtype),
+                                          _DTYPE_TOLS[np.dtype(np.float32)])
+        return (self.eps if self.eps is not None else eps,
+                self.rtol if self.rtol is not None else rtol,
+                self.atol if self.atol is not None else atol)
+
+
+@dataclass
+class GradCheckResult:
+    """Outcome of a grad-check: pass/fail plus the evidence."""
+
+    ok: bool
+    #: worst |analytic - central| / max(|central|, |analytic|, 1)
+    #: over the checked (non-skipped) elements
+    max_rel_err: float
+    #: elements actually compared against FD
+    checked: int
+    #: elements skipped as kinks (one-sided differences disagreed)
+    skipped: int
+    #: human-readable description of each failing element
+    failures: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def gradcheck(loss_fn: Callable[..., float], args: Sequence,
+              grads: Sequence[rt.Tensor],
+              wrt: Optional[Sequence[int]] = None,
+              config: Optional[GradCheckConfig] = None) -> GradCheckResult:
+    """Compare analytic ``grads`` against central finite differences.
+
+    ``loss_fn(*args) -> float`` must be a pure function of ``args``
+    (it is re-evaluated ~2x per sampled element and must not mutate
+    its inputs).  ``wrt`` lists the arg indices the entries of
+    ``grads`` correspond to (default: every :class:`~repro.runtime.
+    Tensor` argument, in order).
+    """
+    config = config or GradCheckConfig()
+    args = list(args)
+    if wrt is None:
+        wrt = [i for i, a in enumerate(args) if isinstance(a, rt.Tensor)]
+    if len(wrt) != len(grads):
+        raise ValueError(f"gradcheck: {len(grads)} gradients for "
+                         f"{len(wrt)} wrt arguments")
+    rng = np.random.default_rng(config.seed)
+    f0 = float(loss_fn(*args))
+
+    max_rel = 0.0
+    checked = skipped = 0
+    failures: List[str] = []
+    for ai, g in zip(wrt, grads):
+        base = args[ai].numpy()
+        eps, rtol, atol = config.tols(base.dtype)
+        analytic = g.numpy().reshape(-1)
+        flat = base.reshape(-1)
+        n = flat.size
+        idxs = (np.arange(n) if n <= config.samples_per_input
+                else rng.choice(n, size=config.samples_per_input,
+                                replace=False))
+        for k in idxs:
+            k = int(k)
+            vals = []
+            for delta in (eps, -eps):
+                mod = base.copy().reshape(-1)
+                mod[k] += delta
+                probe = list(args)
+                probe[ai] = rt.from_numpy(mod.reshape(base.shape))
+                vals.append(float(loss_fn(*probe)))
+            fp, fm = vals
+            central = (fp - fm) / (2 * eps)
+            fwd = (fp - f0) / eps
+            bwd = (f0 - fm) / eps
+            scale = max(abs(central), abs(fwd), abs(bwd), 1.0)
+            if abs(fwd - bwd) > config.kink_tol * scale:
+                skipped += 1
+                continue  # non-smooth here: FD is meaningless
+            a = float(analytic[k])
+            checked += 1
+            rel = abs(a - central) / max(abs(central), abs(a), 1.0)
+            max_rel = max(max_rel, rel)
+            if abs(a - central) > atol + rtol * abs(central):
+                failures.append(
+                    f"arg {ai} elem {k}: analytic {a:.8g} vs central "
+                    f"FD {central:.8g} (rel {rel:.3g}, eps {eps:g})")
+    return GradCheckResult(ok=not failures, max_rel_err=max_rel,
+                           checked=checked, skipped=skipped,
+                           failures=failures)
+
+
+def _to64(a):
+    if isinstance(a, rt.Tensor) and a.numpy().dtype == np.float32:
+        return rt.from_numpy(a.numpy().astype(np.float64))
+    return a
+
+
+def check_workload_grad(workload: str, batch_size: int = 1,
+                        seq_len: int = 8, seed: int = 0,
+                        samples_per_input: int = 8) -> GradCheckResult:
+    """Grad-check one registered workload end to end.
+
+    Builds the backward graph with :func:`repro.grad.build_backward`,
+    interprets it at float64 (inputs upcast, factory defaults promoted
+    via :func:`promoting_f32_to`), and compares against central FD of
+    the model's sum-of-outputs loss.
+    """
+    from ..backend.interpreter import run_graph
+    from ..models import get_workload
+    from . import build_backward
+
+    wl = get_workload(workload)
+    args = tuple(_to64(a) for a in
+                 wl.make_inputs(batch_size=batch_size, seq_len=seq_len,
+                                seed=seed))
+
+    def loss(*a) -> float:
+        cloned = [x.clone() if isinstance(x, rt.Tensor) else x for x in a]
+        with promoting_f32_to(float64):
+            outs = wl.model_fn(*cloned)
+        outs = outs if isinstance(outs, (tuple, list)) else (outs,)
+        return sum(float(o.sum()) for o in outs if isinstance(o, rt.Tensor))
+
+    _, bwd = build_backward(wl.model_fn)
+    with promoting_f32_to(float64):
+        grads = run_graph(bwd, args)
+    grads = grads if isinstance(grads, (tuple, list)) else (grads,)
+    return gradcheck(loss, args, list(grads),
+                     config=GradCheckConfig(
+                         samples_per_input=samples_per_input, seed=seed))

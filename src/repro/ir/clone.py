@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .graph import Block, Graph, Node, Value
+
+__all__ = ["clone_graph", "clone_region"]
 
 
 def _clone_node(node: Node, into: Block, graph: Graph,
@@ -31,6 +33,24 @@ def _clone_block_contents(src: Block, dst: Block, graph: Graph,
         _clone_node(node, dst, graph, vmap)
     for r in src.returns:
         dst.add_return(vmap[id(r)])
+
+
+def clone_region(src: Block, dst: Block, graph: Graph,
+                 vmap: Dict[int, Value]
+                 ) -> Tuple[List[Value], List[Node]]:
+    """Clone ``src``'s *nodes* into ``dst`` without touching params or
+    returns — the primitive the gradient pass uses to re-materialize a
+    forward region inside an adjoint block.
+
+    ``vmap`` must be pre-seeded for every value the region references
+    but does not define (params, captured outer values) — typically
+    mapped to replacement values in the destination scope, or to
+    themselves when the capture stays visible.  Returns the values
+    ``src``'s returns map to plus the top-level cloned nodes, so the
+    caller can seed return adjoints and sweep the clone in reverse.
+    """
+    cloned = [_clone_node(node, dst, graph, vmap) for node in src.nodes]
+    return [vmap[id(r)] for r in src.returns], cloned
 
 
 def clone_graph(graph: Graph,

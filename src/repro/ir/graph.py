@@ -249,6 +249,16 @@ class Block:
         self.returns[i] = value
         value.uses.append(Use(self, i))
 
+    def clear_returns(self) -> None:
+        """Drop every return (and its use records), leaving the block's
+        nodes intact — the gradient pass repurposes a cloned forward
+        graph by swapping its returns for adjoint outputs."""
+        for i, r in enumerate(self.returns):
+            for use in list(r.uses):
+                if use.user is self and use.index == i:
+                    r.uses.remove(use)
+        self.returns.clear()
+
     # -- node placement -------------------------------------------------
 
     def append(self, node: Node) -> Node:

@@ -32,6 +32,12 @@ def _fresh(arr: np.ndarray, op: str, inputs) -> Tensor:
 
 
 def _np(t) -> np.ndarray:
+    if isinstance(t, float):
+        # Python floats are doubles: keep full precision here and let
+        # _cast round once to the base dtype.  float32 bases see the
+        # identical rounding as the old as_tensor path; float64 bases
+        # (grad-check runs) stop truncating scalar writes through f32.
+        return np.asarray(t, dtype=np.float64)
     return as_tensor(t)._array
 
 

@@ -252,6 +252,19 @@ for _n, _f in [
     _pure(f"immut::{_n}", _f, fusable=True)
 
 # ---------------------------------------------------------------------------
+# grad:: helper operators emitted only by the reverse-mode pass
+# ---------------------------------------------------------------------------
+
+# unbroadcast is the adjoint of implicit broadcasting (and casting);
+# reshape_like the adjoint of the whole reshape family.  stash_init
+# allocates the per-iteration state buffer of the scan-style Loop
+# adjoint.  All plain pure ops, so every existing pass / the planner /
+# the interpreter handle backward graphs with zero special cases.
+_pure("grad::unbroadcast", shape_ops.unbroadcast)
+_pure("grad::reshape_like", shape_ops.reshape_like)
+_pure("grad::stash_init", creation.stash_init)
+
+# ---------------------------------------------------------------------------
 # prim:: scalar arithmetic (host-side, never launches kernels)
 # ---------------------------------------------------------------------------
 
@@ -294,3 +307,39 @@ register(OpSchema("aten::append", OpKind.MUTATING,
                   lambda xs, x: (xs.append(x), xs)[1],
                   result_types=("List",)))
 register(OpSchema("tssa::update", OpKind.ANNOTATION, None, num_outputs=0))
+
+# ---------------------------------------------------------------------------
+# Differentiability classification (consumed by repro.grad)
+# ---------------------------------------------------------------------------
+#
+# Three-valued: ``True`` ops get a VJP from repro.grad.vjp at import
+# time; ``False`` ops are *intentionally* non-differentiable and make
+# grad() raise a typed GradError naming them; ``None`` (everything
+# else) means unclassified — also a typed GradError, but phrased as
+# "no VJP registered" so a missing rule is distinguishable from a
+# deliberate exclusion.  Mutating ops are all False: the gradient pass
+# requires the mutation-free TensorSSA form.
+
+_NON_DIFFERENTIABLE = [
+    # predicates and integer/bool results: derivative is zero a.e. and
+    # meaningless at the jumps
+    "aten::gt", "aten::lt", "aten::ge", "aten::le", "aten::eq", "aten::ne",
+    "aten::logical_and", "aten::logical_or", "aten::logical_not",
+    "aten::argmax", "aten::argmin", "aten::nonzero", "aten::topk",
+    "aten::sort",
+    # host-scalar extraction (graph boundaries, not tensor math)
+    "aten::item", "aten::Bool", "aten::Int", "aten::Float", "aten::len",
+    "aten::size", "aten::numel", "aten::dim",
+    # list mutation
+    "aten::append",
+    # backward-only helpers: grad-of-grad is out of scope
+    "grad::unbroadcast", "grad::reshape_like", "grad::stash_init",
+]
+for _n in _NON_DIFFERENTIABLE:
+    REGISTRY[_n].differentiable = False
+for _schema in REGISTRY.values():
+    if _schema.kind is OpKind.MUTATING:
+        _schema.differentiable = False
+    elif _schema.name.startswith("prim::") and _schema.kind is OpKind.PURE:
+        # host scalar arithmetic never carries tensor adjoints
+        _schema.differentiable = False

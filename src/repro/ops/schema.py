@@ -85,6 +85,21 @@ class OpSchema:
     result_types: Sequence[str] = field(default_factory=lambda: ("Tensor",))
     #: random-program synthesis rule (None: the fuzzer never emits it)
     gen: Optional[GenRule] = None
+    #: differentiability classification, three-valued so the gradient
+    #: pass can tell "nobody wrote a VJP yet" from "provably has no
+    #: useful derivative":
+    #: ``True``  — differentiable; ``vjp`` must be set (a zero/None
+    #:             vector-Jacobian product counts, e.g. floor);
+    #: ``False`` — *intentionally* non-differentiable (argmax,
+    #:             comparisons, integer/bool extraction, mutation);
+    #: ``None``  — unclassified: grad() raises a typed GradError naming
+    #:             the op instead of a bare KeyError.
+    differentiable: Optional[bool] = None
+    #: vector-Jacobian product rule, registered by repro.grad.vjp via
+    #: :func:`repro.grad.vjp.register_vjp`.  Signature
+    #: ``vjp(builder, node, grads) -> [grad_or_None per input]`` where
+    #: ``grads`` aligns with ``node.outputs``.
+    vjp: Optional[Callable] = None
 
     @property
     def method(self) -> str:

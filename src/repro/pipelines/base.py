@@ -45,8 +45,24 @@ class Pipeline:
     #: credits functionalization with dense layouts (S5.3)
     device_penalty: float = 1.0
 
+    #: can this pipeline build backward graphs (reverse-mode autodiff)?
+    #: Only functionalizing pipelines can: the gradient pass requires
+    #: the mutation-free TensorSSA form.
+    supports_grad: bool = False
+
     def compile(self, model_fn: Callable, example_args=None) -> Compiled:
         raise NotImplementedError
+
+    def compile_grad(self, model_fn: Callable, example_args=None,
+                     wrt=None, out=None) -> Compiled:
+        """Compile the *backward* of ``model_fn`` (gradients of the
+        sum-of-outputs loss w.r.t. its tensor inputs).  Pipelines that
+        cannot functionalize raise a typed GradError."""
+        from ..errors import GradError
+        raise GradError(f"pipeline {self.name!r} cannot build backward "
+                        "graphs: reverse-mode differentiation requires "
+                        "the functionalized TensorSSA form "
+                        "(use the tensorssa pipeline)")
 
     def __repr__(self) -> str:
         return f"<Pipeline {self.name}>"

@@ -24,10 +24,15 @@ def default_pipelines() -> List[Pipeline]:
 
 def extra_pipelines() -> List[Pipeline]:
     """Ablation variants resolvable by name but outside Figure 5's
-    lineup — currently the memory-planner ablation used by the peak-
-    memory report (``results/fig_mem.json``)."""
+    lineup — the memory-planner ablation used by the peak-memory
+    report (``results/fig_mem.json``) and the fully-interpreted
+    variant (no fusion, no parallelization, no revert, no planning)
+    that ``tools/gradbench`` uses as the backward-pass baseline."""
     return [
         TensorSSAPipeline(plan_memory=False, name="tensorssa_noplan"),
+        TensorSSAPipeline(vertical=False, horizontal=False,
+                          revert_unfused=False, plan_memory=False,
+                          name="tensorssa_interp"),
     ]
 
 

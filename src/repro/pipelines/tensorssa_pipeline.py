@@ -22,7 +22,7 @@ from ..memplan import get_or_build_plan
 from ..obs import trace as obs_trace
 from ..passes import (FuserConfig, PassManager, canonicalize, constant_fold,
                       cse, dce, fuse, parallelize_loops)
-from ..passes.revert import revert_unfused_assigns
+from ..passes.revert import revert_carried_assigns, revert_unfused_assigns
 from ..symshape.family import active_family
 from ..symshape.propagate import annotate_symbolic_shapes
 from ..tensorssa import convert_to_tensorssa
@@ -46,10 +46,63 @@ class TensorSSAPipeline(Pipeline):
         if name is not None:
             self.name = name
 
+    supports_grad = True
+
     def compile(self, model_fn: Callable, example_args=None) -> Compiled:
         with obs_trace.span("pipeline:compile", cat="compile",
                             pipeline=self.name):
             return self._compile(model_fn, example_args)
+
+    def compile_grad(self, model_fn: Callable, example_args=None,
+                     wrt=None, out=None) -> Compiled:
+        """Compile the backward of ``model_fn``.
+
+        Functionalize, run the cleanup passes, differentiate
+        (``grad()`` — a plain graph-to-graph pass, timed as
+        ``pass:grad``), then push the backward graph through the *same*
+        optimization pipeline and memory planner as any forward graph.
+        The returned artifact's ``stats["grad_reference"]`` is a
+        callable interpreting the raw (pre-optimization) backward
+        clone — the harness's correctness oracle for the optimized
+        backward.
+        """
+        from ..grad import grad
+
+        with obs_trace.span("pipeline:compile", cat="compile",
+                            pipeline=self.name, grad=True):
+            scripted = script(model_fn)
+            graph = clone_graph(scripted.graph, name=f"{self.name}_fwd")
+            with obs_trace.span("tensorssa:convert", cat="compile"):
+                report = convert_to_tensorssa(
+                    graph, intra_block_only=self.intra_block_only)
+            (PassManager()
+             .add("dce", dce)
+             .add("cse", cse)
+             .add("constant_fold", constant_fold)
+             .add("canonicalize", canonicalize)
+             .run(graph))
+            with obs_trace.span("pass:grad", cat="compile",
+                                graph=graph.name):
+                bwd = grad(graph, wrt=wrt, out=out)
+                verify(bwd)
+            reference = clone_graph(bwd, name=f"{self.name}_grad_ref")
+            stats, plan = self._optimize(bwd)
+            stats["functionalized"] = report.num_rewritten
+            stats["skipped_mutations"] = len(report.skipped)
+            stats["skip_reasons"] = report.skipped
+
+            def run_reference(*args):
+                outs = run_graph(reference, args)
+                return outs[0] if len(outs) == 1 else tuple(outs)
+
+            stats["grad_reference"] = run_reference
+
+            def run(*args):
+                outs = run_graph(bwd, args, plan=plan)
+                return outs[0] if len(outs) == 1 else tuple(outs)
+
+            return Compiled(pipeline=self.name, fn=run, graph=bwd,
+                            stats=stats)
 
     def _compile(self, model_fn: Callable, example_args=None) -> Compiled:
         scripted = script(model_fn)
@@ -57,6 +110,22 @@ class TensorSSAPipeline(Pipeline):
         with obs_trace.span("tensorssa:convert", cat="compile"):
             report = convert_to_tensorssa(
                 graph, intra_block_only=self.intra_block_only)
+        stats, plan = self._optimize(graph)
+        stats["functionalized"] = report.num_rewritten
+        stats["skipped_mutations"] = len(report.skipped)
+        stats["skip_reasons"] = report.skipped
+
+        def run(*args):
+            outs = run_graph(graph, args, plan=plan)
+            return outs[0] if len(outs) == 1 else tuple(outs)
+
+        return Compiled(pipeline=self.name, fn=run, graph=graph,
+                        stats=stats)
+
+    def _optimize(self, graph):
+        """The shared optimize-and-plan tail: cleanup passes,
+        parallelization/fusion/revert per the ablation switches, then
+        (symbolic) memory planning.  Returns ``(stats, plan)``."""
         pm = (PassManager()
               .add("dce", dce)
               .add("cse", cse)
@@ -64,6 +133,11 @@ class TensorSSAPipeline(Pipeline):
               .add("canonicalize", canonicalize))
         if self.horizontal:
             pm.add("parallelize", parallelize_loops)
+        if self.revert_unfused:
+            # before fusion: an in-place carried write must be a fusion
+            # barrier, not a clone absorbed into a kernel (paper S3.2's
+            # "either fused or converted back" — loops pick the latter)
+            pm.add("revert_carried", revert_carried_assigns)
         if self.vertical:
             pm.add("fuse", lambda g: fuse(
                 g, FuserConfig(name="tensorssa", fuse_views=True)))
@@ -75,9 +149,6 @@ class TensorSSAPipeline(Pipeline):
         results = pm.run(graph)
         verify(graph)
         stats = count_graph_stats(graph)
-        stats["functionalized"] = report.num_rewritten
-        stats["skipped_mutations"] = len(report.skipped)
-        stats["skip_reasons"] = report.skipped
         stats["pass_results"] = {k: v for k, v in results.items()
                                  if isinstance(v, (int, bool))}
         if "__pass_metrics__" in results:
@@ -95,10 +166,4 @@ class TensorSSAPipeline(Pipeline):
                 size_env = family.extent_bounds()
             plan = get_or_build_plan(graph, size_env=size_env)
             stats.update(plan.summary())
-
-        def run(*args):
-            outs = run_graph(graph, args, plan=plan)
-            return outs[0] if len(outs) == 1 else tuple(outs)
-
-        return Compiled(pipeline=self.name, fn=run, graph=graph,
-                        stats=stats)
+        return stats, plan

@@ -91,6 +91,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--family-extents", type=str, default="4,6,8",
                         help="comma-separated row extents for the "
                              "family replay (first seeds the family)")
+    parser.add_argument("--no-grad-check", action="store_true",
+                        help="skip backward-graph construction and the "
+                             "FD grad-check (oracle check 7)")
+    parser.add_argument("--grad-samples", type=int, default=4,
+                        help="elements sampled per input by the check-7 "
+                             "FD grad-check")
     parser.add_argument("--max-failures", type=int, default=5,
                         help="stop after this many failing seeds")
     args = parser.parse_args(argv)
@@ -100,7 +106,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         pipelines=pipelines,
         check_families=not args.no_family_check,
         family_extents=tuple(int(e) for e in
-                             args.family_extents.split(",") if e.strip()))
+                             args.family_extents.split(",") if e.strip()),
+        check_grad=not args.no_grad_check,
+        grad_samples=args.grad_samples)
     shown = pipelines or all_pipeline_names()
     print(f"fuzzing seeds {args.seed}..{args.seed + args.count - 1} "
           f"against: {', '.join(shown)}")
