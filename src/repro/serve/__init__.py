@@ -8,6 +8,15 @@ compile cache, and answers with per-request :class:`Response` objects.
 Policies (deadlines, backpressure, eager fallback, bounded retry) live
 in :class:`ServePolicy`; observability in :class:`ServerStats`.
 
+Scheduling is *continuous* by default: a worker claims a partial group
+immediately and holds an in-flight :class:`AdmissionWindow` open until
+a deadline-aware cutoff, admitting compatible late arrivals straight
+into the assembling batch.  Requests carry a ``priority`` lane and a
+``tenant`` label; :class:`AdmissionController` enforces per-tenant
+token-bucket quotas and sheds low-priority work while the recent
+queue-wait percentile exceeds the deadline budget (see
+``serve.admission``).
+
 Quick start::
 
     from repro.serve import Server, ServePolicy
@@ -24,22 +33,28 @@ from ..degrade import (CircuitBreaker, DEFAULT_LADDER, RetryPolicy,
                        fallback_chain)
 from ..errors import (CompileError, DeadlineExceeded, KernelError,
                       OOMError, ServerShutdown)
+from .admission import AdmissionController, AdmissionWindow, TokenBucket
 from .batching import (BATCH_SPECS, BatchPlan, BatchSpec, coalesce,
-                       get_batch_spec, group_key, scatter)
+                       get_batch_spec, group_key, group_lane,
+                       group_min_deadline, scatter)
 from .executor import BatchExecutor
 from .policy import (ServePolicy, VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO)
 from .request import (Request, Response, STATUS_CANCELLED, STATUS_ERROR,
-                      STATUS_OK, STATUS_REJECTED, STATUS_TIMEOUT)
+                      STATUS_OK, STATUS_REJECTED, STATUS_SHED,
+                      STATUS_TIMEOUT)
 from .server import QueueFullError, Server
 from .stats import ServerStats, percentile
 
 __all__ = [
     "Server", "ServePolicy", "ServerStats", "QueueFullError",
     "Request", "Response", "BatchExecutor",
+    "AdmissionController", "AdmissionWindow", "TokenBucket",
     "BatchSpec", "BatchPlan", "BATCH_SPECS", "get_batch_spec",
-    "group_key", "coalesce", "scatter", "percentile",
+    "group_key", "group_lane", "group_min_deadline",
+    "coalesce", "scatter", "percentile",
     "STATUS_OK", "STATUS_TIMEOUT", "STATUS_ERROR", "STATUS_REJECTED",
-    "STATUS_CANCELLED", "VERIFY_OFF", "VERIFY_BATCH", "VERIFY_SOLO",
+    "STATUS_CANCELLED", "STATUS_SHED",
+    "VERIFY_OFF", "VERIFY_BATCH", "VERIFY_SOLO",
     "CircuitBreaker", "DEFAULT_LADDER", "RetryPolicy", "fallback_chain",
     "CompileError", "DeadlineExceeded", "KernelError", "OOMError",
     "ServerShutdown",

@@ -92,6 +92,25 @@ def get_batch_spec(workload_name: str) -> Optional[BatchSpec]:
     return BATCH_SPECS.get(workload_name)
 
 
+def group_lane(requests: Sequence[Request]) -> int:
+    """The scheduling lane of a group: its highest member priority.
+
+    One urgent member lifts the whole group (standard priority
+    inheritance — coalescing it with lower-priority peers is free, so
+    the peers ride along rather than splitting the batch).
+    """
+    return max((r.priority for r in requests), default=0)
+
+
+def group_min_deadline(requests: Sequence[Request]) -> Optional[float]:
+    """The earliest absolute deadline across ``requests`` (None when no
+    member carries one).  The scheduler's urgency and wake timing key
+    on this — not just on the oldest member — so a late-submitted
+    tight-deadline request cannot starve behind a relaxed one."""
+    deadlines = [r.deadline for r in requests if r.deadline is not None]
+    return min(deadlines) if deadlines else None
+
+
 def request_rows(spec: Optional[BatchSpec], args: Sequence) -> int:
     """Rows this request occupies along the batch axis (1 if unknown)."""
     if spec is None:

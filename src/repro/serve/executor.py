@@ -515,13 +515,19 @@ class BatchExecutor:
 
     def _finish(self, req: Request, resp: Response,
                 fallback: bool = False) -> None:
+        # single delivery point: lane/tenant/admission metadata is
+        # stamped here so every response path carries it
+        resp.priority = req.priority
+        resp.tenant = req.tenant
+        resp.admitted = req.admitted
         self.stats.on_response(
             status=resp.status,
             latency_s=max(0.0, time.monotonic() - req.enqueued_at),
             queue_wait_s=max(0.0, resp.queue_wait_s),
             cache_hit=resp.cache_hit, fallback=fallback,
             retries=resp.retries, verified=resp.verified,
-            fallback_depth=resp.fallback_depth, degraded=resp.degraded)
+            fallback_depth=resp.fallback_depth, degraded=resp.degraded,
+            priority=req.priority)
         req.mark("finish", status=resp.status,
                  served_by=resp.served_by or resp.pipeline)
         if req.timeline:

@@ -12,7 +12,7 @@ compile) fall back to the eager pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 #: Verification modes (see executor.py for the oracle semantics).
 VERIFY_OFF = "off"
@@ -86,6 +86,42 @@ class ServePolicy:
     dynamic_shapes: bool = False
     #: smallest padding bucket; buckets are ``bucket_min * 2^k``
     bucket_min: int = 8
+    #: continuous batching: an idle worker claims a group immediately
+    #: and holds the flushed batch open as an in-flight admission
+    #: window (``serve.admission.AdmissionWindow``) until a
+    #: deadline-aware cutoff — late same-key arrivals ride along
+    #: instead of waiting out a fresh ``batch_wait_s``.  Off restores
+    #: the classic flush-once scheduler.
+    continuous_batching: bool = True
+    #: per-tenant token-bucket quotas: tenant name -> (tokens/s, burst).
+    #: Tenants not listed are unlimited; a drained bucket rejects at
+    #: intake with a "tenant quota exceeded" response.
+    tenant_rates: Optional[Dict[str, Tuple[float, float]]] = None
+    #: percentile-driven load shedding: when the recent queue-wait
+    #: percentile crosses the deadline budget, requests with
+    #: ``priority <= shed_priority_max`` are answered ``shed`` at
+    #: intake instead of queueing (the overload response; reject-on-
+    #: full remains only as the last-resort capacity backstop)
+    shed_enabled: bool = True
+    #: which queue-wait percentile drives the shedder
+    shed_percentile: float = 99.0
+    #: queue-wait budget (s) the percentile is compared against; None
+    #: derives ``request_timeout_s - deadline_slack_s``
+    shed_budget_s: Optional[float] = None
+    #: only requests at or below this priority are sheddable (lanes
+    #: above it ride through overload untouched)
+    shed_priority_max: int = 0
+    #: hysteresis: once shedding, recover only after the percentile
+    #: falls below ``budget * shed_recover_fraction``
+    shed_recover_fraction: float = 0.5
+    #: work-conservation floor: never shed while fewer than this many
+    #: requests are pending (the percentile signal lags the live queue,
+    #: and shedding into a near-empty server trades goodput for
+    #: nothing — a short queue already satisfies the wait bound).
+    #: None derives ``workers * max_batch_size``, one in-flight wave.
+    shed_min_pending: Optional[int] = None
+    #: sliding-window size (responses) for the recent-percentile signal
+    shed_window: int = 256
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -103,3 +139,16 @@ class ServePolicy:
                 "dynamic_shapes requires verify='batch' or 'off': the "
                 "solo oracle compares against unpadded inputs and would "
                 "flag padded recurrent state as divergence")
+        if not 0.0 < self.shed_percentile <= 100.0:
+            raise ValueError("shed_percentile must be in (0, 100]")
+        if not 0.0 < self.shed_recover_fraction <= 1.0:
+            raise ValueError("shed_recover_fraction must be in (0, 1]")
+        if self.shed_window < 1:
+            raise ValueError("shed_window must be >= 1")
+        if self.shed_min_pending is not None and self.shed_min_pending < 0:
+            raise ValueError("shed_min_pending must be >= 0")
+        for tenant, (rate, burst) in (self.tenant_rates or {}).items():
+            if rate < 0 or burst <= 0:
+                raise ValueError(
+                    f"tenant_rates[{tenant!r}]: rate must be >= 0 and "
+                    f"burst > 0, got ({rate}, {burst})")

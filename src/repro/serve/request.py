@@ -27,6 +27,9 @@ STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
 STATUS_REJECTED = "rejected"
 STATUS_CANCELLED = "cancelled"
+#: answered at intake by the overload shedder (low-priority work shed
+#: while the recent queue-wait percentile exceeds the deadline budget)
+STATUS_SHED = "shed"
 
 _request_ids = itertools.count()
 
@@ -43,7 +46,18 @@ class Request:
     batch_rows: int = 1
     #: absolute monotonic deadline; None = no deadline
     deadline: Optional[float] = None
+    #: scheduling lane: higher priorities drain first and are exempt
+    #: from load shedding above ``ServePolicy.shed_priority_max``
+    priority: int = 0
+    #: tenant label for token-bucket quotas and lane-labeled metrics
+    tenant: str = "default"
+    #: True when the request rode into a batch through an in-flight
+    #: admission window (continuous batching) instead of the queue
+    admitted: bool = False
     id: int = field(default_factory=lambda: next(_request_ids))
+    #: stamped at *submit* (construction), before any backpressure
+    #: wait, so queue-wait percentiles include time blocked on a full
+    #: queue — the very signal the overload shedder reads
     enqueued_at: float = field(default_factory=time.monotonic)
     future: "Future[Response]" = field(default_factory=Future)
     #: lifecycle timeline (only populated while a trace sink is
@@ -92,6 +106,13 @@ class Response:
     fallback_depth: int = 0
     #: True when a rung below the requested pipeline served the request
     degraded: bool = False
+    #: scheduling lane and tenant the request carried (echoed back so
+    #: load generators can slice latency by lane without bookkeeping)
+    priority: int = 0
+    tenant: str = "default"
+    #: True when the request was late-admitted into an in-flight batch
+    #: through a continuous-batching admission window
+    admitted: bool = False
     outputs: Tuple = field(default=(), repr=False)
     #: how many requests / total batch rows rode in the same executed batch
     batch_requests: int = 0

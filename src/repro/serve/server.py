@@ -1,21 +1,42 @@
-"""The serving facade: bounded queues, dynamic batching, worker pool.
+"""The serving facade: bounded queues, continuous batching, workers.
 
 ``Server`` accepts concurrent inference requests (``submit`` /
 ``submit_many``), parks them in per-(workload, pipeline, platform,
 shape, shared-state) group queues, and lets a pool of worker threads
-drain them: a worker flushes a group as soon as it holds
-``max_batch_size`` requests, or once the group's oldest request has
-waited ``batch_wait_s``, whichever comes first — classic dynamic
-batching.  Each flushed batch is coalesced along the workload's batch
-axis and executed as one kernel-launch-profiled run (see
-``executor.py``), so the device cost of a request shrinks roughly with
-the batch size — the horizontal-parallelization argument of the paper,
-applied across users instead of across loop iterations.
+drain them.  Scheduling is **continuous batching with admission
+control** (``ServePolicy(continuous_batching=True)``, the default):
+
+* an idle worker claims the highest-priority non-empty group
+  immediately (lane order: highest ``Request.priority`` first, then
+  most urgent wake time) instead of sleeping out ``batch_wait_s``;
+* a claimed *partial* batch stays open as an in-flight
+  :class:`~repro.serve.admission.AdmissionWindow` until a
+  deadline-aware cutoff — ``min(oldest.flush_at, min-deadline −
+  slack, execute-start)`` — admitting compatible same-key arrivals
+  while the worker is still assembling the batch (``serve:admit``
+  spans mark each late admission);
+* intake is gated by per-tenant token-bucket quotas and by the
+  percentile-driven overload shedder (``serve:shed``) before the
+  bounded-queue backpressure is ever consulted — reject-on-full is the
+  last-resort backstop, not the only overload response.
+
+With ``continuous_batching=False`` the classic flush-once scheduler
+runs: a group flushes at ``max_batch_size``, when the oldest member
+has waited ``batch_wait_s``, or when the *group's* earliest deadline
+enters the slack window (tracked per group, not just ``queue[0]``, so
+a tight-deadline member never starves behind a relaxed oldest one).
+
+Each flushed batch is coalesced along the workload's batch axis and
+executed as one kernel-launch-profiled run (see ``executor.py``), so
+the device cost of a request shrinks roughly with the batch size — the
+horizontal-parallelization argument of the paper, applied across users
+instead of across loop iterations.
 
 Usage::
 
     with Server(ServePolicy(workers=4, max_batch_size=8)) as srv:
-        futs = [srv.submit("lstm", args=a, pipeline="tensorssa")
+        futs = [srv.submit("lstm", args=a, pipeline="tensorssa",
+                           priority=1, tenant="gold")
                 for a in request_args]
         responses = [f.result() for f in futs]
 
@@ -29,17 +50,19 @@ import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
-from typing import Deque, Dict, Iterable, List, Optional, Union
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Union
 
 from ..errors import ServerShutdown
 from ..eval.harness import CompileCache
 from ..models import Workload, get_workload
 from ..obs import trace as obs_trace
-from .batching import get_batch_spec, group_key, request_rows
+from .admission import AdmissionController, AdmissionWindow
+from .batching import (get_batch_spec, group_key, group_lane,
+                       group_min_deadline, request_rows)
 from .executor import BatchExecutor
 from .policy import ServePolicy
 from .request import (Request, Response, STATUS_CANCELLED, STATUS_ERROR,
-                      STATUS_REJECTED)
+                      STATUS_REJECTED, STATUS_SHED)
 from .stats import ServerStats
 
 
@@ -53,17 +76,28 @@ class Server:
 
     def __init__(self, policy: Optional[ServePolicy] = None,
                  cache: Optional[CompileCache] = None,
-                 stats: Optional[ServerStats] = None) -> None:
+                 stats: Optional[ServerStats] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.policy = policy or ServePolicy()
         #: private by default so server metrics don't interleave with
         #: figure sweeps; inject a cache to share compilations
         self.cache = cache if cache is not None \
             else CompileCache(capacity=self.policy.cache_capacity)
-        self.stats = stats or ServerStats()
+        self.stats = stats or ServerStats(
+            recent_window=self.policy.shed_window)
         self.executor = BatchExecutor(self.policy, self.cache, self.stats)
+        #: injectable for deterministic scheduler/quota tests; the
+        #: executor keeps real monotonic time, so only inject a fake
+        #: clock when no request actually executes
+        self._clock = clock
+        self.admission = AdmissionController(self.policy, self.stats,
+                                             clock=clock)
         self._cond = threading.Condition()
-        #: insertion-ordered so the scheduler scans oldest groups first
+        #: insertion-ordered so equal-lane, equal-urgency groups drain
+        #: oldest-first
         self._groups: "OrderedDict[tuple, Deque[Request]]" = OrderedDict()
+        #: open continuous-batching admission windows, by group key
+        self._windows: Dict[tuple, AdmissionWindow] = {}
         self._pending = 0
         self._closed = False
         self._workers: List[threading.Thread] = []
@@ -79,13 +113,18 @@ class Server:
                *, pipeline: str = "tensorssa",
                platform: str = "datacenter", batch_size: int = 1,
                seq_len: int = 64, seed: int = 0,
-               timeout_s: Optional[float] = None) -> "Future[Response]":
+               timeout_s: Optional[float] = None,
+               priority: int = 0,
+               tenant: str = "default") -> "Future[Response]":
         """Enqueue one request; returns a future for its Response.
 
         ``args`` are the request's input tensors; when omitted they are
         synthesized via the workload's ``make_inputs`` (handy for load
         generation).  ``timeout_s`` overrides the policy deadline
         (``None`` = policy default, ``0`` or negative = no deadline).
+        ``priority`` picks the scheduling lane (higher drains first and
+        is exempt from shedding above ``shed_priority_max``);
+        ``tenant`` names the token-bucket quota the request draws from.
         """
         wl = get_workload(workload) if isinstance(workload, str) else workload
         if args is None:
@@ -93,13 +132,14 @@ class Server:
                                   seed=seed)
         budget = self.policy.request_timeout_s if timeout_s is None \
             else timeout_s
-        deadline = time.monotonic() + budget \
-            if budget and budget > 0 else None
+        now = self._clock()
+        deadline = now + budget if budget and budget > 0 else None
         spec = get_batch_spec(wl.name)
         req = Request(workload=wl, pipeline=pipeline, platform=platform,
                       args=tuple(args),
                       batch_rows=request_rows(spec, args),
-                      deadline=deadline)
+                      deadline=deadline, priority=priority, tenant=tenant,
+                      enqueued_at=now)
         self._enqueue(req)
         return req.future
 
@@ -112,14 +152,28 @@ class Server:
         with self._cond:
             if self._closed:
                 raise ServerShutdown("server is shut down")
+            # admission control runs before backpressure: a quota- or
+            # shed-rejected request never occupies queue space
+            if not self.admission.admit_quota(req.tenant):
+                self._quota_reject(req)
+                return
+            if self.admission.should_shed(req.priority,
+                                          pending=self._pending):
+                self._shed(req)
+                return
             if self._pending >= self.policy.queue_capacity:
                 if self.policy.reject_on_full:
                     self._reject(req)
                     return
-                deadline = time.monotonic() + self.policy.submit_timeout_s
+                # req.enqueued_at was stamped at submit, so the time
+                # spent blocked here stays visible in the queue-wait
+                # percentiles the shedder reads; the wait itself is
+                # additionally recorded as its own phase/metric below
+                wait_start = self._clock()
+                deadline = wait_start + self.policy.submit_timeout_s
                 while self._pending >= self.policy.queue_capacity \
                         and not self._closed:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock()
                     if remaining <= 0 or not self._cond.wait(remaining):
                         self._reject(req)
                         return
@@ -127,19 +181,36 @@ class Server:
                     raise ServerShutdown(
                         "server shut down while the submit was waiting "
                         "for queue space")
+                waited = self._clock() - wait_start
+                self.stats.on_backpressure(waited)
+                req.mark("backpressure", wait_s=waited)
             key = group_key(req, bucket_min=(
                 self.policy.bucket_min
                 if self.policy.dynamic_shapes else None))
+            now = self._clock()
+            window = self._windows.get(key)
+            if window is not None and window.admit(req, now):
+                # continuous batching: ride the in-flight batch a
+                # worker is still assembling instead of queueing
+                self.stats.on_submit(self._pending, priority=req.priority)
+                self.stats.on_admit()
+                with obs_trace.span("serve:admit", cat="serve",
+                                    lane=req.priority, tenant=req.tenant,
+                                    window=len(window.members)):
+                    req.mark("admit", window=len(window.members),
+                             lane=req.priority)
+                self._cond.notify_all()
+                return
             queue = self._groups.get(key)
             if queue is None:
                 queue = deque()
                 self._groups[key] = queue
             queue.append(req)
-            req.enqueued_at = time.monotonic()
             self._pending += 1
-            self.stats.on_submit(self._pending)
+            self.stats.on_submit(self._pending, priority=req.priority)
             req.mark("enqueue", queue_depth=self._pending,
-                     group=f"{req.workload.name}/{req.pipeline}")
+                     group=f"{req.workload.name}/{req.pipeline}",
+                     lane=req.priority)
             self._cond.notify_all()
 
     def _reject(self, req: Request) -> None:
@@ -147,44 +218,131 @@ class Server:
         req.future.set_result(Response(
             request_id=req.id, workload=req.workload.name,
             pipeline=req.pipeline, platform=req.platform,
-            status=STATUS_REJECTED, error="queue full"))
+            status=STATUS_REJECTED, priority=req.priority,
+            tenant=req.tenant, error="queue full"))
+
+    def _quota_reject(self, req: Request) -> None:
+        self.stats.on_quota_reject(req.tenant)
+        req.mark("quota_reject", tenant=req.tenant)
+        req.future.set_result(Response(
+            request_id=req.id, workload=req.workload.name,
+            pipeline=req.pipeline, platform=req.platform,
+            status=STATUS_REJECTED, priority=req.priority,
+            tenant=req.tenant,
+            error=f"tenant quota exceeded: {req.tenant!r}"))
+
+    def _shed(self, req: Request) -> None:
+        self.stats.on_shed(req.priority)
+        with obs_trace.span("serve:shed", cat="serve", lane=req.priority,
+                            tenant=req.tenant):
+            req.mark("shed", lane=req.priority)
+        req.future.set_result(Response(
+            request_id=req.id, workload=req.workload.name,
+            pipeline=req.pipeline, platform=req.platform,
+            status=STATUS_SHED, priority=req.priority, tenant=req.tenant,
+            error=f"shed: recent queue-wait "
+                  f"p{self.policy.shed_percentile:g} over the deadline "
+                  f"budget"))
 
     # -- scheduling -----------------------------------------------------
 
+    def _group_wake_at(self, queue: "Deque[Request]") -> float:
+        """When the scheduler must next act on a group: the oldest
+        member's flush point or the *group's* earliest deadline minus
+        slack, whichever lands first.  Using the group minimum (not
+        just ``queue[0]``) fixes two scheduler bugs: a later member
+        with a tighter deadline now triggers the urgent flush, and the
+        condition-wait timeout wakes in time to serve it."""
+        flush_at = queue[0].enqueued_at + self.policy.batch_wait_s
+        min_deadline = group_min_deadline(queue)
+        if min_deadline is None:
+            return flush_at
+        return min(flush_at, min_deadline - self.policy.deadline_slack_s)
+
     def _take_batch(self) -> Optional[List[Request]]:
         """Block until a group is ready to flush; None = shut down and
-        drained.  Readiness: full batch, oldest member past its batch
-        wait, a member's deadline inside the slack window, or draining.
+        drained.
+
+        Classic mode readiness: full batch, past the group's wake
+        point (oldest member's flush time or group-min deadline inside
+        the slack window), or draining.  Continuous mode: any
+        non-empty group is claimable immediately — the batch wait
+        moves into the admission-window linger, where late arrivals
+        are admitted instead of shut out.  Among claimable groups the
+        highest lane (max member priority) wins; ties break to the
+        most urgent wake point.
         """
         with self._cond:
             while True:
-                now = time.monotonic()
-                next_flush: Optional[float] = None
+                now = self._clock()
+                next_wake: Optional[float] = None
+                best_key: Optional[tuple] = None
+                best_rank = None
                 for key, queue in self._groups.items():
                     if not queue:
                         continue
-                    oldest = queue[0]
-                    flush_at = oldest.enqueued_at + self.policy.batch_wait_s
-                    urgent = (oldest.remaining(now)
-                              <= self.policy.deadline_slack_s)
-                    if (len(queue) >= self.policy.max_batch_size
-                            or flush_at <= now or urgent or self._closed):
-                        batch = [queue.popleft() for _ in range(
-                            min(len(queue), self.policy.max_batch_size))]
-                        if not queue:
-                            del self._groups[key]
-                        self._pending -= len(batch)
-                        self._cond.notify_all()
-                        for member in batch:
-                            member.mark("dequeue", batch=len(batch))
-                        return batch
-                    next_flush = flush_at if next_flush is None \
-                        else min(next_flush, flush_at)
+                    wake_at = self._group_wake_at(queue)
+                    ready = (self.policy.continuous_batching
+                             or len(queue) >= self.policy.max_batch_size
+                             or now >= wake_at or self._closed)
+                    if not ready:
+                        next_wake = wake_at if next_wake is None \
+                            else min(next_wake, wake_at)
+                        continue
+                    rank = (group_lane(queue), -wake_at)
+                    if best_rank is None or rank > best_rank:
+                        best_rank, best_key = rank, key
+                if best_key is not None:
+                    queue = self._groups[best_key]
+                    batch = [queue.popleft() for _ in range(
+                        min(len(queue), self.policy.max_batch_size))]
+                    if not queue:
+                        del self._groups[best_key]
+                    self._pending -= len(batch)
+                    self._cond.notify_all()
+                    for member in batch:
+                        member.mark("dequeue", batch=len(batch))
+                    if (self.policy.continuous_batching
+                            and len(batch) < self.policy.max_batch_size
+                            and not self._closed):
+                        self._linger(best_key, batch, now)
+                    return batch
                 if self._closed and self._pending == 0:
                     return None
-                timeout = None if next_flush is None \
-                    else max(0.0, next_flush - now)
+                timeout = None if next_wake is None \
+                    else max(0.0, next_wake - now)
                 self._cond.wait(timeout)
+
+    def _linger(self, key: tuple, batch: List[Request],
+                now: float) -> None:
+        """Hold a partial batch open as an admission window (caller
+        holds the lock).  The window closes at the deadline-aware
+        cutoff ``min(oldest.flush_at, min-deadline − slack)``, when it
+        fills, or at shutdown — whichever comes first; closing is the
+        batch's execute-start."""
+        flush_at = batch[0].enqueued_at + self.policy.batch_wait_s
+        min_deadline = group_min_deadline(batch)
+        cutoff = flush_at if min_deadline is None else min(
+            flush_at, min_deadline - self.policy.deadline_slack_s)
+        if cutoff <= now:
+            return
+        window = AdmissionWindow(key=key, members=batch, cutoff=cutoff,
+                                 capacity=self.policy.max_batch_size,
+                                 slack_s=self.policy.deadline_slack_s)
+        self._windows[key] = window
+        try:
+            with obs_trace.span("serve:window", cat="serve",
+                                workload=batch[0].workload.name,
+                                claimed=len(batch)):
+                while not window.full and not self._closed:
+                    remaining = window.cutoff - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+        finally:
+            window.closed = True
+            if self._windows.get(key) is window:
+                del self._windows[key]
 
     def _worker_loop(self) -> None:
         while True:
@@ -211,7 +369,8 @@ class Server:
             req.future.set_result(Response(
                 request_id=req.id, workload=req.workload.name,
                 pipeline=req.pipeline, platform=req.platform,
-                status=STATUS_ERROR,
+                status=STATUS_ERROR, priority=req.priority,
+                tenant=req.tenant, admitted=req.admitted,
                 error=f"executor crashed: {type(exc).__name__}: {exc}"))
 
     # -- lifecycle ------------------------------------------------------
@@ -259,7 +418,8 @@ class Server:
                 req.future.set_result(Response(
                     request_id=req.id, workload=req.workload.name,
                     pipeline=req.pipeline, platform=req.platform,
-                    status=status, error=error))
+                    status=status, priority=req.priority,
+                    tenant=req.tenant, error=error))
         self._groups.clear()
         self._pending = 0
         if cancelled:

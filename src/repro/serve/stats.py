@@ -23,10 +23,11 @@ keys as before the refactor.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from ..eval.harness import CacheStats
-from ..obs import MetricsRegistry, percentile_nearest_rank
+from ..obs import Histogram, MetricsRegistry, percentile_nearest_rank
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -50,7 +51,7 @@ class ServerStats:
     #: cap on retained latency samples (reservoir replaces beyond it)
     MAX_SAMPLES = 100_000
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, recent_window: int = 256) -> None:
         self._lock = threading.Lock()
         self.registry = MetricsRegistry(seed=seed)
         reg = self.registry
@@ -77,6 +78,22 @@ class ServerStats:
                                       max_samples=self.MAX_SAMPLES)
         self._queue_wait = reg.histogram("serve.queue_wait_s",
                                          max_samples=self.MAX_SAMPLES)
+        # -- admission control + lanes (continuous batching) ----------
+        self._admitted = reg.counter("serve.admitted")
+        self._shed = reg.labeled_counter("serve.shed")
+        self._quota_rejected = reg.labeled_counter("serve.quota_rejected")
+        self._lane_submitted = reg.labeled_counter("serve.lane_submitted")
+        self._lane_completed = reg.labeled_counter("serve.lane_completed")
+        self._backpressure_waits = reg.counter("serve.backpressure_waits")
+        self._backpressure_wait = reg.histogram(
+            "serve.backpressure_wait_s", max_samples=self.MAX_SAMPLES)
+        #: per-lane latency reservoirs, created on first response of a
+        #: lane (guarded by self._lock)
+        self._lane_latency: Dict[int, Histogram] = {}
+        #: sliding window of the most recent queue waits — the
+        #: overload shedder's signal (the whole-run reservoir would
+        #: recover far too slowly after a spike)
+        self._recent_queue_wait: Deque[float] = deque(maxlen=recent_window)
         #: circuit-breaker transition counts ("closed->open": n), set
         #: by the executor at snapshot time
         self.breaker_transitions: Dict[str, int] = {}
@@ -84,14 +101,32 @@ class ServerStats:
 
     # -- recording ------------------------------------------------------
 
-    def on_submit(self, queue_depth: int) -> None:
+    def on_submit(self, queue_depth: int, priority: int = 0) -> None:
         """One request entered the queue (at the given depth)."""
         self._submitted.inc()
+        self._lane_submitted.inc(priority)
         self._queue_depth.set(queue_depth)
 
     def on_reject(self) -> None:
         """One request was rejected at intake (queue full)."""
         self._rejected.inc()
+
+    def on_admit(self) -> None:
+        """One request rode an in-flight admission window."""
+        self._admitted.inc()
+
+    def on_shed(self, priority: int = 0) -> None:
+        """One request was shed at intake by the overload shedder."""
+        self._shed.inc(priority)
+
+    def on_quota_reject(self, tenant: str) -> None:
+        """One request was rejected by its tenant's token bucket."""
+        self._quota_rejected.inc(tenant)
+
+    def on_backpressure(self, wait_s: float) -> None:
+        """One submit spent ``wait_s`` blocked on a full queue."""
+        self._backpressure_waits.inc()
+        self._backpressure_wait.record(wait_s)
 
     def on_cancel(self, n: int = 1) -> None:
         """``n`` queued requests were cancelled at shutdown."""
@@ -114,11 +149,21 @@ class ServerStats:
                     fallback: bool, retries: int,
                     verified: Optional[bool],
                     fallback_depth: int = 0,
-                    degraded: bool = False) -> None:
+                    degraded: bool = False,
+                    priority: int = 0) -> None:
         """One request's future resolved; record its outcome."""
         if status == "ok":
             self._completed.inc()
+            self._lane_completed.inc(priority)
             self._fallback_depths.inc(fallback_depth)
+            with self._lock:
+                hist = self._lane_latency.get(priority)
+                if hist is None:
+                    hist = self.registry.histogram(
+                        f"serve.latency_s.lane{priority}",
+                        max_samples=self.MAX_SAMPLES)
+                    self._lane_latency[priority] = hist
+            hist.record(latency_s)
         elif status == "timeout":
             self._timeouts.inc()
         else:
@@ -139,6 +184,7 @@ class ServerStats:
                 self._diverged.inc()
         self._latency.record(latency_s)
         self._queue_wait.record(queue_wait_s)
+        self._recent_queue_wait.append(queue_wait_s)
 
     def set_cache_snapshot(self, snap: CacheStats) -> None:
         """Attach the compile-cache counter snapshot (executor calls)."""
@@ -240,6 +286,46 @@ class ServerStats:
         return self._bucket_real.value / padded if padded else 0.0
 
     @property
+    def admitted(self) -> int:
+        """Requests late-admitted through an in-flight window."""
+        return self._admitted.value
+
+    @property
+    def shed(self) -> int:
+        """Requests shed at intake by the overload shedder."""
+        return self._shed.total
+
+    @property
+    def shed_by_lane(self) -> Dict[int, int]:
+        """priority lane -> shed-request count."""
+        return self._shed.as_dict()
+
+    @property
+    def quota_rejected(self) -> int:
+        """Requests rejected by a tenant token bucket."""
+        return self._quota_rejected.total
+
+    @property
+    def quota_rejected_by_tenant(self) -> Dict[str, int]:
+        """tenant -> quota-rejected request count."""
+        return self._quota_rejected.as_dict()
+
+    @property
+    def lane_submitted(self) -> Dict[int, int]:
+        """priority lane -> requests accepted into the queue."""
+        return self._lane_submitted.as_dict()
+
+    @property
+    def lane_completed(self) -> Dict[int, int]:
+        """priority lane -> requests answered ok."""
+        return self._lane_completed.as_dict()
+
+    @property
+    def backpressure_waits(self) -> int:
+        """Submits that spent time blocked on a full queue."""
+        return self._backpressure_waits.value
+
+    @property
     def queue_depth_peak(self) -> int:
         """Deepest the queue ever got (high-water mark)."""
         return int(self._queue_depth.peak)
@@ -266,6 +352,29 @@ class ServerStats:
     def latency_percentile(self, q: float) -> float:
         """Nearest-rank latency percentile over the reservoir (s)."""
         return self._latency.percentile(q)
+
+    def recent_queue_wait_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the *recent* queue waits (s).
+
+        Computed over the sliding window (``recent_window`` most recent
+        responses), not the whole-run reservoir, so the overload
+        shedder sees spikes quickly and recovers once they drain.
+        Returns 0.0 before any response completes.
+        """
+        with self._lock:
+            samples = list(self._recent_queue_wait)
+        return percentile_nearest_rank(samples, q)
+
+    def lane_latency_percentile(self, lane: int, q: float) -> float:
+        """Nearest-rank latency percentile for one priority lane (s);
+        0.0 when the lane has served nothing."""
+        with self._lock:
+            hist = self._lane_latency.get(lane)
+        return hist.percentile(q) if hist is not None else 0.0
+
+    def backpressure_wait_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of per-submit backpressure waits (s)."""
+        return self._backpressure_wait.percentile(q)
 
     def to_dict(self) -> dict:
         """JSON-ready snapshot (what serve_bench writes to results/)."""
@@ -296,6 +405,19 @@ class ServerStats:
             "bucket_real_units": self.bucket_real_units,
             "bucket_padded_units": self.bucket_padded_units,
             "bucket_pad_efficiency": self.bucket_pad_efficiency,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_by_lane": {str(k): v for k, v in
+                             sorted(self.shed_by_lane.items())},
+            "quota_rejected": self.quota_rejected,
+            "quota_rejected_by_tenant": {
+                str(k): v for k, v in
+                sorted(self.quota_rejected_by_tenant.items())},
+            "lane_submitted": {str(k): v for k, v in
+                               sorted(self.lane_submitted.items())},
+            "lane_completed": {str(k): v for k, v in
+                               sorted(self.lane_completed.items())},
+            "backpressure_waits": self.backpressure_waits,
         }
         out["cache_hit_rate"] = (
             out["request_cache_hits"] /
@@ -304,6 +426,15 @@ class ServerStats:
         out["latency_p95_ms"] = self._latency.percentile(95) * 1e3
         out["queue_wait_p50_ms"] = self._queue_wait.percentile(50) * 1e3
         out["queue_wait_p95_ms"] = self._queue_wait.percentile(95) * 1e3
+        out["queue_wait_p99_ms"] = self._queue_wait.percentile(99) * 1e3
+        out["backpressure_wait_p95_ms"] = \
+            self._backpressure_wait.percentile(95) * 1e3
+        with self._lock:
+            lanes = sorted(self._lane_latency)
+        out["lane_latency_ms"] = {
+            str(lane): {"p50": self.lane_latency_percentile(lane, 50) * 1e3,
+                        "p99": self.lane_latency_percentile(lane, 99) * 1e3}
+            for lane in lanes}
         if snap is not None:
             out["compile_cache"] = {
                 "epoch": snap.epoch, "hits": snap.hits,

@@ -297,3 +297,46 @@ class TestConcurrentRuns:
         assert (stats["compile_cache"]["hits"]
                 + stats["compile_cache"]["misses"]
                 == stats["batches_executed"])
+
+
+class TestContinuousBatchingUnderContention:
+    """Continuous admission + priority lanes with many submitter
+    threads: the batch oracle must stay bit-exact when late arrivals
+    are admitted into in-flight windows, and lane accounting must add
+    up under contention."""
+
+    def test_mixed_lanes_batch_oracle_and_lane_accounting(self):
+        wl = get_workload("lstm")
+        base = wl.make_inputs(batch_size=1, seq_len=8, seed=0)
+        pol = ServePolicy(workers=2, max_batch_size=4,
+                          batch_wait_s=0.02, verify="batch")
+        n_threads, per_thread = 4, 6
+        futs = [[] for _ in range(n_threads)]
+        with Server(pol) as srv:
+            def submitter(tid):
+                def fn():
+                    for k in range(per_thread):
+                        a = wl.make_inputs(batch_size=1, seq_len=8,
+                                           seed=100 + tid * per_thread + k)
+                        args = (a[0],) + base[1:4] + (a[4], a[5])
+                        futs[tid].append(srv.submit(
+                            "lstm", args=args, priority=tid % 2,
+                            tenant=f"t{tid % 2}"))
+                        time.sleep(0.002)
+                return fn
+            run_threads([submitter(t) for t in range(n_threads)])
+            rs = [f.result(timeout=120) for fs in futs for f in fs]
+        assert all(r.ok for r in rs), [r.error for r in rs if not r.ok]
+        assert all(r.verified is True for r in rs)
+        stats = srv.stats.to_dict()
+        assert stats["diverged"] == 0
+        total = n_threads * per_thread
+        assert stats["completed"] == total
+        # every request was accounted to exactly one lane, in and out
+        assert sum(stats["lane_submitted"].values()) == total
+        assert sum(stats["lane_completed"].values()) == total
+        assert stats["lane_completed"] == stats["lane_submitted"]
+        # responses echo the lane they were submitted on
+        for tid, fs in enumerate(futs):
+            for f in fs:
+                assert f.result(timeout=1).priority == tid % 2

@@ -278,8 +278,12 @@ def test_server_ladder_faultless_depth_zero():
 
 
 def test_shutdown_no_drain_cancels_queued_with_typed_error():
+    # classic flush-once scheduler: requests sit *queued* (unclaimed)
+    # for batch_wait_s, so a no-drain shutdown must cancel them.  Under
+    # continuous batching an idle worker claims them immediately and
+    # in-flight work completes instead (see test_serve.py).
     policy = ServePolicy(workers=1, max_batch_size=64, batch_wait_s=5.0,
-                         request_timeout_s=60.0)
+                         request_timeout_s=60.0, continuous_batching=False)
     srv = Server(policy)
     futs = [srv.submit("lstm", seq_len=8, seed=s) for s in range(3)]
     srv.shutdown(drain=False, timeout=10.0)

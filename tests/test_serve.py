@@ -317,3 +317,344 @@ class TestFuzzOracleThroughServer:
         assert len(got) == len(exp)
         for g, e in zip(got, exp):
             np.testing.assert_array_equal(g.numpy(), e.numpy())
+
+
+# -- continuous batching + admission control (PR 8) ----------------------
+
+from repro.serve import (AdmissionController, TokenBucket,  # noqa: E402
+                         group_lane, group_min_deadline)
+
+
+def shared_args(base, workload="lstm", seq_len=8, seed=1):
+    """Request args reusing ``base``'s shared model state (so requests
+    land in one group) with fresh batched inputs from ``seed``."""
+    wl = get_workload(workload)
+    fresh = wl.make_inputs(batch_size=1, seq_len=seq_len, seed=seed)
+    spec = get_batch_spec(workload)
+    return tuple(fresh[i] if ax is not None else base[i]
+                 for i, ax in enumerate(spec.arg_axes))
+
+
+class _StubStats:
+    """Feeds AdmissionController a hand-set queue-wait percentile."""
+
+    def __init__(self, p=0.0):
+        self.p = p
+
+    def recent_queue_wait_percentile(self, q):
+        return self.p
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        t = [0.0]
+        b = TokenBucket(rate=1.0, burst=2.0, clock=lambda: t[0])
+        assert b.try_take()
+        assert b.try_take()
+        assert not b.try_take()          # burst drained
+        t[0] += 1.0                       # 1 token refilled
+        assert b.try_take()
+        assert not b.try_take()
+
+    def test_refill_caps_at_burst(self):
+        t = [0.0]
+        b = TokenBucket(rate=10.0, burst=3.0, clock=lambda: t[0])
+        t[0] += 100.0
+        assert b.tokens == 3.0
+
+    def test_zero_rate_never_refills(self):
+        t = [0.0]
+        b = TokenBucket(rate=0.0, burst=1.0, clock=lambda: t[0])
+        assert b.try_take()
+        t[0] += 1000.0
+        assert not b.try_take()
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_hysteresis_trip_and_recover(self):
+        pol = ServePolicy(shed_budget_s=1.0, shed_recover_fraction=0.5)
+        stub = _StubStats()
+        ctrl = AdmissionController(pol, stub)
+        stub.p = 0.5
+        assert not ctrl.should_shed(0)
+        stub.p = 1.5
+        assert ctrl.should_shed(0)        # tripped: p > budget
+        stub.p = 0.8
+        assert ctrl.should_shed(0)        # hysteresis: 0.8 > 1.0 * 0.5
+        stub.p = 0.4
+        assert not ctrl.should_shed(0)    # recovered below budget*frac
+        assert not ctrl.shedding
+
+    def test_high_priority_never_shed(self):
+        pol = ServePolicy(shed_budget_s=0.1, shed_priority_max=0)
+        stub = _StubStats(p=10.0)
+        ctrl = AdmissionController(pol, stub)
+        assert ctrl.should_shed(0)
+        assert not ctrl.should_shed(1)
+        assert not ctrl.should_shed(2)
+
+    def test_budget_derives_from_request_timeout(self):
+        pol = ServePolicy(request_timeout_s=2.0, deadline_slack_s=0.5)
+        ctrl = AdmissionController(pol, _StubStats())
+        assert ctrl.shed_budget_s() == pytest.approx(1.5)
+
+    def test_no_deadline_disables_shedding(self):
+        pol = ServePolicy(request_timeout_s=0)
+        ctrl = AdmissionController(pol, _StubStats(p=100.0))
+        assert ctrl.shed_budget_s() is None
+        assert not ctrl.should_shed(0)
+
+    def test_disabled_flag_wins(self):
+        pol = ServePolicy(shed_enabled=False, shed_budget_s=0.01)
+        ctrl = AdmissionController(pol, _StubStats(p=100.0))
+        assert not ctrl.should_shed(0)
+
+    def test_work_conservation_floor(self):
+        # even while tripped, a near-empty queue is never shed into:
+        # the lagging percentile must not idle the server
+        pol = ServePolicy(workers=2, max_batch_size=4,
+                          shed_budget_s=0.1)
+        ctrl = AdmissionController(pol, _StubStats(p=10.0))
+        assert ctrl.keep_busy_floor == 8    # derived workers*max_batch
+        assert ctrl.should_shed(0, pending=100)
+        assert ctrl.shedding
+        assert not ctrl.should_shed(0, pending=7)
+        assert ctrl.should_shed(0, pending=8)
+        explicit = AdmissionController(
+            ServePolicy(shed_budget_s=0.1, shed_min_pending=3),
+            _StubStats(p=10.0))
+        assert explicit.keep_busy_floor == 3
+        assert not explicit.should_shed(0, pending=2)
+
+
+class TestGroupLaneHelpers:
+    def test_group_lane_is_max_priority(self):
+        base = shared_base()
+        reqs = [make_request(seed=1, base=base),
+                make_request(seed=2, base=base)]
+        reqs[1].priority = 3
+        assert group_lane(reqs) == 3
+        assert group_lane([]) == 0
+
+    def test_group_min_deadline_scans_all_members(self):
+        base = shared_base()
+        a = make_request(seed=1, base=base, deadline=None)
+        b = make_request(seed=2, base=base, deadline=50.0)
+        c = make_request(seed=3, base=base, deadline=10.0)
+        assert group_min_deadline([a]) is None
+        assert group_min_deadline([a, b, c]) == 10.0
+
+
+class TestSchedulerRegressions:
+    """The three flush-once scheduler bugs, pinned in classic mode."""
+
+    def test_sleeping_scheduler_wakes_for_deadline(self):
+        # Bug 1: the cond-wait timeout was computed from flush_at
+        # alone, so a lone request with a deadline far inside
+        # batch_wait_s slept until it had already expired.
+        pol = ServePolicy(workers=1, max_batch_size=8, batch_wait_s=5.0,
+                          continuous_batching=False)
+        t0 = time.monotonic()
+        with Server(pol) as srv:
+            resp = srv.submit("attention", seq_len=8,
+                              timeout_s=0.8).result(timeout=10)
+        wall = time.monotonic() - t0
+        assert resp.ok, resp.error
+        assert wall < 2.0, f"scheduler slept through the deadline ({wall:.2f}s)"
+
+    def test_group_min_deadline_triggers_urgent_flush(self):
+        # Bug 2: urgency inspected only queue[0]; a later member with
+        # a tighter deadline starved behind a relaxed oldest one.
+        wl = get_workload("lstm")
+        base = wl.make_inputs(batch_size=1, seq_len=8, seed=0)
+        pol = ServePolicy(workers=1, max_batch_size=8, batch_wait_s=5.0,
+                          continuous_batching=False)
+        t0 = time.monotonic()
+        with Server(pol) as srv:
+            relaxed = srv.submit("lstm", args=shared_args(base, seed=1),
+                                 timeout_s=30.0)
+            tight = srv.submit("lstm", args=shared_args(base, seed=2),
+                               timeout_s=0.8)
+            r_tight = tight.result(timeout=10)
+            r_relaxed = relaxed.result(timeout=10)
+        wall = time.monotonic() - t0
+        assert r_tight.ok, r_tight.error
+        assert r_relaxed.ok, r_relaxed.error
+        # the group flushed at the tight member's urgency point, not at
+        # the relaxed oldest member's 5s batch_wait (the executor may
+        # still peel the near-deadline member onto the eager path)
+        assert r_tight.queue_wait_s < 2.0, r_tight.queue_wait_s
+        assert wall < 2.0, f"tight-deadline member starved ({wall:.2f}s)"
+
+    def test_backpressure_wait_is_visible_in_queue_wait(self):
+        # Bug 3: enqueued_at was re-stamped after the backpressure
+        # wait, hiding blocked-submit time from the queue-wait
+        # percentiles (the very signal the shedder reads).
+        release = threading.Event()
+        pol = ServePolicy(workers=1, max_batch_size=1, queue_capacity=1,
+                          reject_on_full=False, submit_timeout_s=10.0,
+                          batch_wait_s=0.0)
+        srv = Server(pol)
+        original = srv.executor.execute
+
+        def blocking_execute(batch):
+            release.wait(30)
+            original(batch)
+
+        srv.executor.execute = blocking_execute
+        try:
+            first = srv.submit("attention", seq_len=8)   # worker blocks
+            time.sleep(0.1)                              # worker took it
+            second = srv.submit("attention", seq_len=8)  # fills queue
+            futs = []
+
+            def blocked_submit():
+                futs.append(srv.submit("attention", seq_len=8))
+
+            t = threading.Thread(target=blocked_submit)
+            t.start()
+            time.sleep(0.4)          # third sits in the backpressure wait
+            release.set()
+            t.join(timeout=10)
+            assert not t.is_alive()
+            third = futs[0].result(timeout=30)
+            assert third.ok, third.error
+            assert first.result(timeout=30).ok
+            assert second.result(timeout=30).ok
+            assert srv.stats.backpressure_waits == 1
+            # the blocked ~0.4s must show up in the request's queue wait
+            assert third.queue_wait_s >= 0.3, third.queue_wait_s
+        finally:
+            release.set()
+            srv.shutdown()
+
+
+class TestPriorityLanes:
+    def test_high_priority_group_drains_first(self):
+        release = threading.Event()
+        order = []
+        pol = ServePolicy(workers=1, max_batch_size=1, batch_wait_s=0.0)
+        srv = Server(pol)
+        original = srv.executor.execute
+
+        def gated_execute(batch):
+            order.append(batch[0].priority)
+            release.wait(30)
+            original(batch)
+
+        srv.executor.execute = gated_execute
+        try:
+            dummy = srv.submit("attention", seq_len=4)     # occupies worker
+            time.sleep(0.1)
+            low = srv.submit("attention", seq_len=8, priority=0)
+            high = srv.submit("attention", seq_len=16, priority=2)
+            release.set()
+            assert high.result(timeout=30).ok
+            assert low.result(timeout=30).ok
+            assert dummy.result(timeout=30).ok
+            # after the dummy, the high lane drained before the low one
+            assert order == [0, 2, 0]
+        finally:
+            release.set()
+            srv.shutdown()
+
+    def test_response_echoes_lane_and_tenant(self):
+        pol = ServePolicy(workers=1)
+        with Server(pol) as srv:
+            resp = srv.submit("attention", seq_len=8, priority=2,
+                              tenant="gold").result(timeout=30)
+        assert resp.ok
+        assert resp.priority == 2
+        assert resp.tenant == "gold"
+        assert srv.stats.lane_submitted.get(2) == 1
+        assert srv.stats.lane_completed.get(2) == 1
+        assert srv.stats.lane_latency_percentile(2, 50) > 0.0
+
+
+class TestContinuousBatching:
+    def test_window_admits_late_arrival(self):
+        pol = ServePolicy(workers=1, max_batch_size=8, batch_wait_s=0.5)
+        with Server(pol) as srv:
+            f1 = srv.submit("attention", seq_len=16, seed=1)
+            time.sleep(0.1)      # worker claimed f1, window open
+            f2 = srv.submit("attention", seq_len=16, seed=2)
+            r1, r2 = f1.result(timeout=30), f2.result(timeout=30)
+        assert r1.ok and r2.ok
+        assert r1.batch_requests == 2 and r2.batch_requests == 2
+        assert r2.admitted and not r1.admitted
+        assert srv.stats.admitted == 1
+
+    def test_deadline_pulls_cutoff_before_batch_wait(self):
+        pol = ServePolicy(workers=1, max_batch_size=8, batch_wait_s=5.0)
+        t0 = time.monotonic()
+        with Server(pol) as srv:
+            resp = srv.submit("attention", seq_len=8,
+                              timeout_s=0.8).result(timeout=10)
+        wall = time.monotonic() - t0
+        assert resp.ok, resp.error
+        assert wall < 2.0, f"window ignored the deadline ({wall:.2f}s)"
+
+    def test_batch_oracle_exact_with_admitted_members(self):
+        wl = get_workload("lstm")
+        base = wl.make_inputs(batch_size=1, seq_len=8, seed=0)
+        pol = ServePolicy(workers=1, max_batch_size=8, batch_wait_s=0.4,
+                          verify="batch")
+        with Server(pol) as srv:
+            futs = []
+            for seed in range(1, 5):
+                futs.append(srv.submit(
+                    "lstm", args=shared_args(base, seed=seed)))
+                time.sleep(0.05)
+            resps = [f.result(timeout=60) for f in futs]
+        assert all(r.ok for r in resps), [r.error for r in resps]
+        assert all(r.verified for r in resps)
+        assert srv.stats.diverged == 0
+        assert srv.stats.admitted >= 1   # later submits rode the window
+
+
+class TestQuotasAndShedding:
+    def test_tenant_quota_rejects_when_drained(self):
+        pol = ServePolicy(workers=1,
+                          tenant_rates={"free": (0.0, 2.0)})
+        with Server(pol) as srv:
+            a = srv.submit("attention", seq_len=8, tenant="free")
+            b = srv.submit("attention", seq_len=8, tenant="free")
+            c = srv.submit("attention", seq_len=8, tenant="free")
+            gold = srv.submit("attention", seq_len=8, tenant="gold")
+            rc = c.result(timeout=30)
+            assert a.result(timeout=30).ok
+            assert b.result(timeout=30).ok
+            assert gold.result(timeout=30).ok
+        assert rc.status == "rejected"
+        assert "quota" in rc.error
+        assert srv.stats.quota_rejected_by_tenant == {"free": 1}
+
+    def test_shed_then_recover_through_server(self):
+        pol = ServePolicy(workers=1, shed_budget_s=0.5, shed_window=8,
+                          shed_priority_max=0, shed_min_pending=0)
+        with Server(pol) as srv:
+            # simulate a queue-wait spike crossing the budget
+            for _ in range(8):
+                srv.stats.on_response("ok", 0.01, 1.0, False, False, 0,
+                                      None)
+            shed = srv.submit("attention", seq_len=8, priority=0)
+            kept = srv.submit("attention", seq_len=8, priority=1)
+            r_shed = shed.result(timeout=30)
+            assert r_shed.status == "shed"
+            assert "shed" in r_shed.error
+            assert kept.result(timeout=30).ok
+            assert srv.admission.shedding
+            # the spike drains: recent waits fall below budget * frac
+            for _ in range(8):
+                srv.stats.on_response("ok", 0.01, 0.01, False, False, 0,
+                                      None)
+            recovered = srv.submit("attention", seq_len=8, priority=0)
+            assert recovered.result(timeout=30).ok
+        assert srv.stats.shed == 1
+        assert srv.stats.shed_by_lane == {0: 1}
