@@ -32,6 +32,7 @@ from typing import Union
 __all__ = [
     "ReproError", "CompileError", "GradError", "KernelError", "OOMError",
     "DeadlineExceeded", "ServerShutdown", "TornStateError",
+    "WorkerCrashed", "ArtifactError",
     "classify", "is_retryable",
 ]
 
@@ -98,6 +99,29 @@ class ServerShutdown(ReproError, RuntimeError):
     Subclasses ``RuntimeError`` so pre-taxonomy callers that caught
     ``RuntimeError`` on submit-after-shutdown keep working.
     """
+
+    retryable = False
+
+
+class WorkerCrashed(ReproError):
+    """A sharded-serving worker process died (or went silent past its
+    heartbeat deadline) while holding the request.  Retryable by
+    design: the request's inputs never left the router, so redelivery
+    to a surviving or respawned worker can succeed — the at-most-once
+    guard in :mod:`repro.shard.router` makes sure a request that
+    already produced a result is answered from the result cache
+    instead of being executed twice."""
+
+    retryable = True
+
+
+class ArtifactError(ReproError):
+    """A serialized compile artifact (:mod:`repro.shard.artifact`)
+    could not be produced or restored: unsupported pipeline, corrupted
+    checksum, version mismatch, or a restored memory plan that
+    disagrees with the recorded slot table.  Non-retryable — the bytes
+    will not get better; the caller should fall back to a cold
+    compile."""
 
     retryable = False
 

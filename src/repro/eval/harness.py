@@ -36,7 +36,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -138,6 +138,14 @@ class CompileCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+
+    def entries(self) -> List[Tuple[tuple, "Compiled"]]:
+        """Snapshot of ``(key, compiled)`` pairs, LRU order (oldest
+        first) — how shard workers discover what to publish into the
+        artifact store without holding the cache lock while
+        serializing."""
+        with self._lock:
+            return list(self._entries.items())
 
     def get_or_compile(self, key: tuple,
                        factory: Callable[[], Compiled],

@@ -3,7 +3,7 @@
 Chaos engineering for the simulated device: a :class:`FaultPlan` is a
 schedule of :class:`FaultRule` entries — *which* site, *which* op
 (substring match), *which* occurrence (``nth``) or probability — and
-the runtime consults it at five injection sites:
+the runtime consults it at seven injection sites:
 
 ========================  ====================================================
 site                      checked in
@@ -15,6 +15,12 @@ site                      checked in
 ``fusion_compile``        ``backend/fusion_runtime._node_kernel``
 ``pass``                  ``passes/pass_manager.PassManager.run``
 ``batch_exec``            ``serve/executor.BatchExecutor._execute_plan``
+``process_kill``          ``shard/worker`` boot / submit / reply checkpoints
+                          (a fired fault makes the worker ``os._exit`` —
+                          modeled SIGKILL, no cleanup)
+``heartbeat_stall``       ``shard/worker`` heartbeat thread (a fired fault
+                          silences or delays heartbeats so supervisor
+                          deadline detection trips)
 ========================  ====================================================
 
 Faults either *raise* a typed error from :mod:`repro.errors` (marked
@@ -51,11 +57,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Type
 
 from .errors import (CompileError, KernelError, OOMError, ReproError,
-                     TornStateError)
+                     TornStateError, WorkerCrashed)
 
 __all__ = [
     "SITE_KERNEL_LAUNCH", "SITE_ALLOC", "SITE_FUSION_COMPILE",
-    "SITE_PASS", "SITE_BATCH_EXEC", "ALL_SITES",
+    "SITE_PASS", "SITE_BATCH_EXEC", "SITE_PROCESS_KILL",
+    "SITE_HEARTBEAT_STALL", "ALL_SITES",
     "Fault", "FaultRule", "FaultRecord", "FaultPlan",
     "fault_scope", "global_fault_scope", "active_plan", "maybe_inject",
     "StateAuditor",
@@ -67,8 +74,16 @@ SITE_ALLOC = "alloc"
 SITE_FUSION_COMPILE = "fusion_compile"
 SITE_PASS = "pass"
 SITE_BATCH_EXEC = "batch_exec"
+#: sharded-serving crash domain (repro.shard.worker checkpoints): a
+#: fired ``process_kill`` makes the worker ``os._exit`` — modeling
+#: SIGKILL, no cleanup, no goodbye frame — and a fired
+#: ``heartbeat_stall`` silences or delays its heartbeat thread so the
+#: supervisor's deadline detection has something real to detect
+SITE_PROCESS_KILL = "process_kill"
+SITE_HEARTBEAT_STALL = "heartbeat_stall"
 ALL_SITES = (SITE_KERNEL_LAUNCH, SITE_ALLOC, SITE_FUSION_COMPILE,
-             SITE_PASS, SITE_BATCH_EXEC)
+             SITE_PASS, SITE_BATCH_EXEC, SITE_PROCESS_KILL,
+             SITE_HEARTBEAT_STALL)
 
 #: Error type a site raises when the rule does not name one.
 DEFAULT_ERRORS: Dict[str, Type[ReproError]] = {
@@ -77,6 +92,8 @@ DEFAULT_ERRORS: Dict[str, Type[ReproError]] = {
     SITE_FUSION_COMPILE: CompileError,
     SITE_PASS: CompileError,
     SITE_BATCH_EXEC: KernelError,
+    SITE_PROCESS_KILL: WorkerCrashed,
+    SITE_HEARTBEAT_STALL: WorkerCrashed,
 }
 
 #: Fault kinds.
@@ -186,6 +203,50 @@ class FaultPlan:
                         rule_index=idx, kind=fault.kind, error=err))
                     fired = fault
             return fired
+
+    def to_spec(self) -> dict:
+        """A JSON/pickle-safe description of the plan's *schedule*
+        (rules + seed, not the runtime hit counters).  A worker process
+        rebuilt from this spec replays the same deterministic fault
+        sequence — the bridge that lets one chaos campaign reach
+        spawned shard workers (:mod:`repro.shard.worker`), which cannot
+        inherit a live plan across an exec boundary."""
+        rules = []
+        for rule in self.rules:
+            rules.append({
+                "site": rule.site, "match": rule.match, "nth": rule.nth,
+                "times": rule.times, "probability": rule.probability,
+                "kind": rule.fault.kind,
+                "error": rule.fault.error.__name__
+                if rule.fault.error is not None else None,
+                "latency_s": rule.fault.latency_s,
+                "message": rule.fault.message,
+            })
+        return {"seed": self.seed, "rules": rules}
+
+    @staticmethod
+    def from_spec(spec: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_spec` output.  Error types are
+        resolved by name against :mod:`repro.errors` and must subclass
+        :class:`~repro.errors.ReproError`."""
+        from . import errors as errors_mod
+        rules = []
+        for r in spec.get("rules", ()):
+            error = None
+            if r.get("error"):
+                error = getattr(errors_mod, r["error"], None)
+                if not (isinstance(error, type)
+                        and issubclass(error, ReproError)):
+                    raise ValueError(
+                        f"fault spec names unknown error type {r['error']!r}")
+            rules.append(FaultRule(
+                site=r["site"], match=r.get("match", ""),
+                nth=r.get("nth", 0), times=r.get("times", 1),
+                probability=r.get("probability"),
+                fault=Fault(kind=r.get("kind", KIND_ERROR), error=error,
+                            latency_s=r.get("latency_s", 0.0),
+                            message=r.get("message", ""))))
+        return FaultPlan(rules, seed=spec.get("seed", 0))
 
     def fired_by_site(self) -> Dict[str, int]:
         """How many faults fired at each site (for coverage reports)."""

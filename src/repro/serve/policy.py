@@ -122,6 +122,12 @@ class ServePolicy:
     shed_min_pending: Optional[int] = None
     #: sliding-window size (responses) for the recent-percentile signal
     shed_window: int = 256
+    #: drain deadline for ``shutdown(drain=True)``: how long the whole
+    #: worker join may take before requests still queued are answered
+    #: with a typed ``ServerShutdown`` cancellation (a wedged worker
+    #: thread must never make shutdown wait forever).  None = wait
+    #: indefinitely (the pre-deadline behaviour, for tests that want it)
+    drain_timeout_s: Optional[float] = 10.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -147,6 +153,8 @@ class ServePolicy:
             raise ValueError("shed_window must be >= 1")
         if self.shed_min_pending is not None and self.shed_min_pending < 0:
             raise ValueError("shed_min_pending must be >= 0")
+        if self.drain_timeout_s is not None and self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be > 0 (or None)")
         for tenant, (rate, burst) in (self.tenant_rates or {}).items():
             if rate < 0 or burst <= 0:
                 raise ValueError(

@@ -127,6 +127,12 @@ class Response:
     verified: Optional[bool] = None
     retries: int = 0
     error: str = ""
+    #: sharded serving (repro.shard): the worker process that produced
+    #: the outputs ("" when served in-process)
+    worker: str = ""
+    #: how many times the request was redelivered after a worker crash
+    #: before this answer (0 = first delivery succeeded)
+    redelivered: int = 0
     #: per-request lifecycle timeline (enqueue -> batch -> execute ->
     #: scatter, including ladder rungs and retries); populated only
     #: when the request was served under an installed trace sink

@@ -384,32 +384,46 @@ class Server:
         """Stop intake; serve (``drain=True``) or reject what is queued,
         then join the workers.
 
-        Guarantee: no waiter blocks on a future that never resolves.
-        After the workers are joined (or the join times out), anything
-        still queued — requests a dead/stuck worker would have served —
-        is answered with a typed :class:`~repro.errors.ServerShutdown`
-        rejection instead of being left pending forever.
+        The drain is *bounded*: the whole worker join shares one
+        deadline — ``timeout`` when given, else the policy's
+        ``drain_timeout_s`` — so a wedged worker thread can never make
+        shutdown wait indefinitely.  Guarantee: no waiter blocks on a
+        future that never resolves.  After the workers are joined (or
+        the deadline expires), anything still queued — requests a
+        dead/stuck worker would have served — is answered with a typed
+        :class:`~repro.errors.ServerShutdown` rejection instead of
+        being left pending forever; deadline-expired drains are counted
+        in ``stats.drain_expired``.
         """
         with self._cond:
             if not drain:
                 self._flush_queued(STATUS_CANCELLED, "server shut down")
             self._closed = True
             self._cond.notify_all()
+        budget = self.policy.drain_timeout_s if timeout is None else timeout
+        deadline = None if budget is None else time.monotonic() + budget
         for t in self._workers:
-            t.join(timeout)
+            if deadline is None:
+                t.join()
+            else:
+                t.join(max(0.0, deadline - time.monotonic()))
+        expired = any(t.is_alive() for t in self._workers)
         with self._cond:
             # drain=True normally leaves nothing here; a worker that
-            # died or outlived the join timeout does
-            self._flush_queued(
+            # died or outlived the drain deadline does
+            flushed = self._flush_queued(
                 STATUS_CANCELLED,
                 str(ServerShutdown("server shut down before the request "
                                    "was served")))
+        if expired:
+            self.stats.on_drain_expired(flushed)
         self.stats.set_cache_snapshot(self.cache.snapshot())
         self.stats.set_breaker_transitions(
             self.executor.breakers.transitions())
 
-    def _flush_queued(self, status: str, error: str) -> None:
-        """Resolve every queued request's future (caller holds the lock)."""
+    def _flush_queued(self, status: str, error: str) -> int:
+        """Resolve every queued request's future (caller holds the
+        lock); returns how many were flushed."""
         cancelled = 0
         for queue in self._groups.values():
             while queue:
@@ -425,6 +439,7 @@ class Server:
         if cancelled:
             self.stats.on_cancel(cancelled)
             self._cond.notify_all()
+        return cancelled
 
     def __enter__(self) -> "Server":
         return self

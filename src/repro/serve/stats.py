@@ -85,6 +85,7 @@ class ServerStats:
         self._lane_submitted = reg.labeled_counter("serve.lane_submitted")
         self._lane_completed = reg.labeled_counter("serve.lane_completed")
         self._backpressure_waits = reg.counter("serve.backpressure_waits")
+        self._drain_expired = reg.counter("serve.drain_expired")
         self._backpressure_wait = reg.histogram(
             "serve.backpressure_wait_s", max_samples=self.MAX_SAMPLES)
         #: per-lane latency reservoirs, created on first response of a
@@ -131,6 +132,13 @@ class ServerStats:
     def on_cancel(self, n: int = 1) -> None:
         """``n`` queued requests were cancelled at shutdown."""
         self._cancelled.inc(n)
+
+    def on_drain_expired(self, flushed: int = 0) -> None:
+        """One ``shutdown(drain=True)`` hit its drain deadline with a
+        worker thread still alive; the ``flushed`` requests it answered
+        with typed ``ServerShutdown`` cancellations are already counted
+        by :meth:`on_cancel` — this records only the deadline event."""
+        self._drain_expired.inc()
 
     def on_batch(self, n_requests: int) -> None:
         """One batch of ``n_requests`` was handed to the executor."""
@@ -326,6 +334,12 @@ class ServerStats:
         return self._backpressure_waits.value
 
     @property
+    def drain_expired(self) -> int:
+        """Shutdowns whose bounded drain hit its deadline with a
+        worker thread still alive."""
+        return self._drain_expired.value
+
+    @property
     def queue_depth_peak(self) -> int:
         """Deepest the queue ever got (high-water mark)."""
         return int(self._queue_depth.peak)
@@ -418,6 +432,7 @@ class ServerStats:
             "lane_completed": {str(k): v for k, v in
                                sorted(self.lane_completed.items())},
             "backpressure_waits": self.backpressure_waits,
+            "drain_expired": self.drain_expired,
         }
         out["cache_hit_rate"] = (
             out["request_cache_hits"] /

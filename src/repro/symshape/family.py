@@ -319,6 +319,25 @@ class FamilyTable:
                     sp.args["family"] = family.family_id
                 return family, outcome
 
+    def adopt(self, family: ShapeFamily) -> bool:
+        """Register an externally restored family (artifact warm start).
+
+        The family keeps its serialized id so cache keys minted from it
+        keep resolving; ``_next_id`` advances past any numeric id so
+        families minted later never collide.  Returns False (and leaves
+        the table unchanged) when a family with the same id already
+        lives under the prefix — warm starts are idempotent.
+        """
+        with self._lock:
+            siblings = self._families.setdefault(family.prefix, [])
+            if any(f.family_id == family.family_id for f in siblings):
+                return False
+            siblings.append(family)
+            fid = family.family_id
+            if fid.startswith("f") and fid[1:].isdigit():
+                self._next_id = max(self._next_id, int(fid[1:]) + 1)
+            return True
+
     def peek(self, prefix: tuple, signature: tuple
              ) -> Optional[ShapeFamily]:
         """The family that would serve a signature, without minting one

@@ -2,9 +2,9 @@
 
 ``python -m repro.tools.chaos --seed 0 --campaigns 25`` derives a
 deterministic :class:`~repro.faults.FaultPlan` per campaign (primary
-injection site cycling through all five sites, plus extra random
+injection site cycling through all seven sites, plus extra random
 rules — errors and latency, one-shot and persistent) and drives it
-through two paths:
+through three paths:
 
 * **harness campaigns** — ``run_workload_resilient`` calls under a
   context-local ``fault_scope``, each result checked *bit-exact*
@@ -12,7 +12,12 @@ through two paths:
 * **serve campaigns** — a live :class:`~repro.serve.Server` (ladder
   enabled, ``verify="batch"``) under a ``global_fault_scope`` so the
   worker threads see the plan, every future awaited with a hang
-  timeout.
+  timeout;
+* **shard campaigns** — when the primary site is ``process_kill`` or
+  ``heartbeat_stall``, a live multi-process
+  :class:`~repro.shard.ShardRouter` fleet whose *workers* run the plan
+  (shipped as a spec across the spawn boundary); firings are observed
+  in the parent as supervisor-detected deaths.
 
 The contract each campaign enforces is the paper-stack's availability
 discipline: every request either returns bit-exact-correct output
@@ -48,9 +53,12 @@ from ..eval.harness import CompileCache, run_workload, \
     run_workload_resilient
 from ..faults import (ALL_SITES, Fault, FaultPlan, FaultRule,
                       KIND_LATENCY, SITE_ALLOC, SITE_BATCH_EXEC,
-                      SITE_FUSION_COMPILE, SITE_KERNEL_LAUNCH, SITE_PASS,
+                      SITE_FUSION_COMPILE, SITE_HEARTBEAT_STALL,
+                      SITE_KERNEL_LAUNCH, SITE_PASS, SITE_PROCESS_KILL,
                       StateAuditor, fault_scope, global_fault_scope)
+from ..models import get_workload
 from ..serve import ServePolicy, Server
+from ..shard import ShardPolicy, ShardRouter
 
 #: per-request data seeds start here (campaign c, request j -> BASE+17c+j)
 DATA_SEED0 = 50_000
@@ -64,7 +72,17 @@ _MAX_NTH = {
     SITE_FUSION_COMPILE: 4,
     SITE_PASS: 6,
     SITE_BATCH_EXEC: 3,
+    # shard-worker checkpoints: boot + one per submit receipt/reply
+    SITE_PROCESS_KILL: 3,
+    # heartbeat beats accrue fast; fire within the first few
+    SITE_HEARTBEAT_STALL: 2,
 }
+
+#: sites whose checkpoints live inside spawned shard workers — a
+#: campaign with one of these as primary runs in shard mode, and the
+#: parent observes firings through supervisor death detection (the
+#: child's fault log dies with the child)
+_SHARD_SITES = (SITE_PROCESS_KILL, SITE_HEARTBEAT_STALL)
 
 #: sites where a *persistent* fault still leaves the eager floor
 #: reachable (eager runs no passes, no fusion compiles, no batch step,
@@ -75,6 +93,11 @@ _PERSISTABLE = (SITE_ALLOC, SITE_FUSION_COMPILE, SITE_PASS,
 
 def _make_rule(site: str, rng: random.Random) -> FaultRule:
     """One deterministic rule for ``site`` drawn from ``rng``."""
+    if site in _SHARD_SITES:
+        # a latency fault at a kill/stall checkpoint is a no-op; these
+        # sites only mean anything as hard errors
+        return FaultRule(site=site, nth=rng.randint(0, _MAX_NTH[site]),
+                         times=1, fault=Fault())
     if rng.random() < 0.15:
         fault = Fault(kind=KIND_LATENCY,
                       latency_s=rng.uniform(0.0005, 0.003))
@@ -227,6 +250,94 @@ def run_serve_campaign(workload: str, plan: Optional[FaultPlan],
     return out
 
 
+def run_shard_campaign(workload: str, plan: Optional[FaultPlan],
+                       index: int, requests: int, seq_len: int,
+                       ladder: bool,
+                       hang_timeout_s: float) -> Dict[str, object]:
+    """``requests`` through a live multi-process shard fleet whose
+    workers run the plan (shipped as a spec across the spawn
+    boundary); the parent checks every answer bit-exact against its
+    own eager oracle and observes fault firings as supervisor-detected
+    deaths."""
+    out = {"mode": "shard", "requests": requests, "ok": 0,
+           "degraded": 0, "wrong": 0, "typed_errors": 0,
+           "untyped_errors": 0, "hangs": 0, "fallback_depth_hist": {},
+           "torn": 0}
+    seeds = [DATA_SEED0 + index * 17 + j for j in range(requests)]
+    wl = get_workload(workload)
+    refs = {}
+    for s in seeds:
+        r = wl.model_fn(*wl.make_inputs(batch_size=1, seq_len=seq_len,
+                                        seed=s))
+        refs[s] = r if isinstance(r, tuple) else (r,)
+    policy = ShardPolicy(
+        num_workers=2, fault_spec=plan.to_spec() if plan else None,
+        heartbeat_interval_s=0.05, heartbeat_timeout_s=0.6,
+        max_respawns=2, redeliver_max=3,
+        request_timeout_s=hang_timeout_s,
+        worker_policy={"workers": 2, "max_batch_size": 1,
+                       "ladder_enabled": ladder, "max_retries": 1,
+                       "retry_base_delay_s": 0.0005,
+                       "retry_max_delay_s": 0.005,
+                       "breaker_reset_s": 0.02, "retry_seed": index})
+    auditor = StateAuditor()
+    with ShardRouter(policy) as router:
+        router.wait_ready(2, timeout=60)
+        futs = [router.submit(workload, seq_len=seq_len, seed=s,
+                              timeout_s=hang_timeout_s) for s in seeds]
+        for s, fut in zip(seeds, futs):
+            try:
+                resp = fut.result(timeout=hang_timeout_s * 2)
+            except FutureTimeout:
+                out["hangs"] += 1
+                continue
+            except Exception:
+                out["untyped_errors"] += 1
+                continue
+            if resp.ok:
+                if not _bit_exact(resp.outputs, refs[s]):
+                    out["wrong"] += 1
+                    continue
+                out["ok"] += 1
+                if resp.degraded:
+                    out["degraded"] += 1
+                hist = out["fallback_depth_hist"]
+                hist[resp.fallback_depth] = \
+                    hist.get(resp.fallback_depth, 0) + 1
+            elif resp.error:
+                out["typed_errors"] += 1
+            else:
+                out["untyped_errors"] += 1
+        if plan is not None and any(rule.site in _SHARD_SITES
+                                    for rule in plan.rules):
+            # death detection is asynchronous (a stalled beacon only
+            # shows after the heartbeat deadline): hold the fleet open
+            # one detection window so the supervisor can witness it
+            wait_until = time.monotonic() \
+                + policy.heartbeat_timeout_s + 1.0
+            while time.monotonic() < wait_until \
+                    and router.supervisor.deaths == 0:
+                time.sleep(0.05)
+        report = router.report()
+    # supervisor-detected deaths are the parent-side witness for
+    # faults that fired inside the children
+    reasons = report["death_reasons"]
+    fired: Dict[str, int] = {}
+    kills = reasons.get("crash", 0) + reasons.get("boot", 0)
+    if kills:
+        fired[SITE_PROCESS_KILL] = kills
+    if reasons.get("hang"):
+        fired[SITE_HEARTBEAT_STALL] = reasons["hang"]
+    out["fired_by_site"] = fired
+    out["shard"] = {k: report[k] for k in
+                    ("deaths", "respawned", "redelivered",
+                     "duplicates_dropped", "replayed", "eager_floor")}
+    out["torn"] = len(auditor.audit())
+    out["audit"] = auditor.audit()
+    out["breaker_transitions"] = {}
+    return out
+
+
 def _merge_hist(total: Dict[str, int], part: Dict) -> None:
     for k, v in part.items():
         total[str(k)] = total.get(str(k), 0) + v
@@ -257,20 +368,31 @@ def run_campaigns(args: argparse.Namespace) -> Dict[str, object]:
         else:
             primary = ALL_SITES[(i - 2) % len(ALL_SITES)]
             plan = build_plan(args.seed, i, primary)
-            mode = "serve" if primary == SITE_BATCH_EXEC or i % 2 == 0 \
-                else "harness"
-        runner = run_serve_campaign if mode == "serve" \
-            else run_harness_campaign
+            if primary in _SHARD_SITES:
+                mode = "shard"
+            else:
+                mode = "serve" if primary == SITE_BATCH_EXEC \
+                    or i % 2 == 0 else "harness"
         start = time.perf_counter()
-        result = runner(workload, plan, i, args.requests, args.seq_len,
-                        ladder) if mode == "harness" else \
-            runner(workload, plan, i, args.requests, args.seq_len,
-                   ladder, args.hang_timeout_s)
+        if mode == "harness":
+            result = run_harness_campaign(workload, plan, i,
+                                          args.requests, args.seq_len,
+                                          ladder)
+        elif mode == "serve":
+            result = run_serve_campaign(workload, plan, i,
+                                        args.requests, args.seq_len,
+                                        ladder, args.hang_timeout_s)
+        else:
+            result = run_shard_campaign(workload, plan, i,
+                                        args.requests, args.seq_len,
+                                        ladder, args.hang_timeout_s)
         result.update(index=i, workload=workload, control=control,
                       primary_site=primary,
                       wall_s=time.perf_counter() - start)
         if plan is not None:
-            result["fired_by_site"] = plan.fired_by_site()
+            # shard campaigns report detection-based firings already;
+            # in-process campaigns read the plan's own log
+            result.setdefault("fired_by_site", plan.fired_by_site())
             _merge_hist(fired_by_site, result["fired_by_site"])
         if control:
             # the fault-free control must be perfect: full availability

@@ -33,8 +33,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
+import shutil
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -42,6 +45,7 @@ from typing import Dict, List, Optional
 
 from ..models import Workload, get_workload
 from ..serve import (Response, ServePolicy, Server, get_batch_spec)
+from ..shard import ShardPolicy, ShardRouter
 
 #: seed of the shared model state; per-request data seeds start above it
 STATE_SEED = 0
@@ -208,6 +212,102 @@ def bench_workload_dynamic(name: str, args: argparse.Namespace,
     }
 
 
+def run_shard_load(wl: Workload, pool: List[tuple], num_workers: int,
+                   args: argparse.Namespace,
+                   store_root: str) -> Dict[str, object]:
+    """One closed-loop run against a :class:`~repro.shard.ShardRouter`
+    fleet of ``num_workers`` worker processes sharing one artifact
+    store.  The inner servers run ``max_batch_size=1`` so the compile-
+    key population is exactly the distinct request shapes — the
+    property that makes the warm-restart zero-compiles gate
+    deterministic (coalesced-batch shapes depend on thread timing)."""
+    policy = ShardPolicy(
+        num_workers=num_workers, store_root=store_root,
+        request_timeout_s=args.timeout_s,
+        worker_policy={"workers": 2, "max_batch_size": 1,
+                       "request_timeout_s": args.timeout_s})
+    requests = args.requests
+    responses: List[Optional[Response]] = [None] * requests
+    counter = {"next": 0}
+    lock = threading.Lock()
+    router = ShardRouter(policy)
+    try:
+        ready = router.wait_ready(num_workers, timeout=120)
+        if ready < num_workers:
+            raise RuntimeError(
+                f"only {ready}/{num_workers} shard workers came up")
+        # warmup: compile (or warm-load) every distinct shape once
+        warm = [router.submit(wl, args=p, pipeline=args.pipeline,
+                              platform=args.platform) for p in pool]
+        for f in warm:
+            f.result(timeout=args.timeout_s)
+
+        def client() -> None:
+            while True:
+                with lock:
+                    i = counter["next"]
+                    if i >= requests:
+                        return
+                    counter["next"] = i + 1
+                fut = router.submit(wl, args=pool[i % len(pool)],
+                                    pipeline=args.pipeline,
+                                    platform=args.platform)
+                responses[i] = fut.result(timeout=args.timeout_s)
+
+        threads = [threading.Thread(target=client,
+                                    name=f"shard-client-{i}")
+                   for i in range(args.concurrency)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        report = router.report()
+    finally:
+        router.shutdown(drain=True)
+    ok = sum(1 for r in responses if r is not None and r.ok)
+    return {
+        "workers": num_workers,
+        "requests": requests,
+        "wall_s": wall,
+        "throughput_rps": requests / wall if wall > 0 else 0.0,
+        "ok": ok,
+        "dropped": requests - ok,
+        "compiles": max(report["worker_compiles"].values(), default=0),
+        "router": report,
+    }
+
+
+def bench_workload_sharded(name: str, args: argparse.Namespace
+                           ) -> Dict[str, object]:
+    """One workload through the multi-process shard fleet, at
+    ``--workers`` processes and again at one process (same artifact
+    store, so the second fleet warm-starts and must pay **zero**
+    compiles — the crash-restart property measured as a benchmark).
+
+    The request pool spans ``--shard-keys`` distinct sequence lengths:
+    the hash ring places requests by shape-specialization key, so a
+    single-shape pool would land on one worker and measure nothing.
+    """
+    wl = get_workload(name)
+    lengths = [args.seq_len + 4 * k for k in range(args.shard_keys)]
+    pool = [wl.make_inputs(batch_size=1, seq_len=lengths[i],
+                           seed=DATA_SEED0 + i)
+            for i in range(len(lengths))]
+    store = tempfile.mkdtemp(prefix="shard-bench-store-")
+    try:
+        sharded = run_shard_load(wl, pool, args.workers, args, store)
+        baseline = run_shard_load(wl, pool, 1, args, store)
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+    scaling = (sharded["throughput_rps"] / baseline["throughput_rps"]
+               if baseline["throughput_rps"] else float("inf"))
+    return {"workload": name, "sharded": sharded, "baseline": baseline,
+            "scaling": scaling,
+            "warm_restart_compiles": baseline["compiles"]}
+
+
 def bench_workload(name: str, args: argparse.Namespace
                    ) -> Dict[str, object]:
     """Benchmark one workload: batched policy vs max_batch_size=1."""
@@ -267,6 +367,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(repro.tools.overload) instead: "
                              "continuous batching + admission control "
                              "vs the reject-on-full baseline")
+    parser.add_argument("--sharded", action="store_true",
+                        help="benchmark the multi-process shard fleet "
+                             "(repro.shard): --workers worker "
+                             "processes vs one, sharing an artifact "
+                             "store so the second fleet warm-starts "
+                             "with zero compiles")
+    parser.add_argument("--shard-keys", type=int, default=12,
+                        help="distinct sequence lengths in the sharded "
+                             "request pool (= hash-ring keys)")
+    parser.add_argument("--min-scaling", type=float, default=None,
+                        help="sharded mode: fail unless some "
+                             "workload's N-worker throughput beats "
+                             "1-worker by this factor")
     parser.add_argument("--dynamic-shapes", action="store_true",
                         help="serve seeded randomized sequence lengths "
                              "and compare family-keyed (bucketed) "
@@ -315,6 +428,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workloads": [],
     }
     failures = 0
+
+    if args.sharded:
+        if args.out == "results/serve_bench.json":
+            args.out = "results/shard_bench.json"
+        for name in names:
+            print(f"[{name}] sharded: {args.requests} requests x "
+                  f"{args.concurrency} clients, {args.workers} worker "
+                  f"processes vs 1, {args.shard_keys} ring keys")
+            entry = bench_workload_sharded(name, args)
+            report["workloads"].append(entry)
+            for mode in ("sharded", "baseline"):
+                e = entry[mode]
+                failures += e["dropped"]
+                print(f"  {mode:<9} workers={e['workers']}  "
+                      f"{e['throughput_rps']:8.1f} req/s  "
+                      f"compiles {e['compiles']:3d}  "
+                      f"dropped {e['dropped']}")
+            print(f"  scaling   {entry['scaling']:.2f}x  "
+                  f"warm-restart compiles "
+                  f"{entry['warm_restart_compiles']}")
+            # the crash-restart property, gated as a benchmark: the
+            # warm-started 1-worker fleet must never cold compile
+            failures += entry["warm_restart_compiles"]
+        best = max((e["scaling"] for e in report["workloads"]),
+                   default=0.0)
+        report["best_scaling"] = best
+        cores = os.cpu_count() or 1
+        report["cpu_count"] = cores
+        if cores < args.workers:
+            print(f"note: {cores} CPU core(s) < {args.workers} workers "
+                  f"— throughput scaling is not expressible on this "
+                  f"machine; the availability and warm-restart gates "
+                  f"still hold")
+        if args.min_scaling is not None and best < args.min_scaling:
+            print(f"FAIL: best scaling {best:.2f}x < required "
+                  f"{args.min_scaling:.2f}x")
+            failures += 1
+        report["failures"] = failures
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nbest scaling {best:.2f}x, {failures} failure(s); "
+              f"wrote {out}")
+        return failures
 
     if args.dynamic_shapes:
         rng = random.Random(args.shape_seed)

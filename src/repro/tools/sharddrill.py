@@ -1,0 +1,301 @@
+"""Kill-the-worker chaos drill for the sharded serving layer.
+
+``python -m repro.tools.sharddrill --seed 0 --campaigns 10`` runs
+seeded campaigns against a live :class:`~repro.shard.ShardRouter`
+fleet, cycling through the failure modes the supervisor must survive:
+
+* ``kill_submit`` — SIGKILL semantics (``os._exit(137)``) the moment a
+  worker accepts a request: the cleanest redelivery case;
+* ``kill_reply`` — the worker dies *after* executing but before the
+  answer leaves: redelivery must still produce exactly one answer;
+* ``stall`` — the heartbeat beacon goes permanently silent while the
+  process keeps running: only deadline detection catches it;
+* ``kill_boot`` — the worker dies mid warm-start, before HELLO: the
+  respawned incarnation must warm-start cleanly.
+
+Every campaign runs two phases against one shared artifact store:
+a fault-free *populate* pass that compiles and publishes every
+(workload, shape) the drill will serve, then the *drill* pass whose
+workers all warm-start — so the drill also pins the headline artifact
+property: **a worker restart pays zero cold compiles** (gated on the
+compile counters every worker reports in-band).
+
+The contract gated per campaign (exit status = violations, so CI gates
+directly):
+
+* zero hangs — every future resolves within the hang timeout;
+* zero wrong answers — responses match an in-parent eager oracle
+  bit-exact;
+* zero untyped errors — anything non-OK carries a typed error string;
+* 100% availability — redelivery plus the eager floor answer
+  everything OK despite the kills;
+* zero warm-restart compiles — no drill-phase worker ever cold
+  compiles.
+
+Writes ``results/sharddrill.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from concurrent.futures import TimeoutError as FutureTimeout
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..faults import (Fault, FaultPlan, FaultRule, SITE_HEARTBEAT_STALL,
+                      SITE_PROCESS_KILL)
+from ..models import get_workload
+from ..shard import ShardPolicy, ShardRouter
+
+#: per-request data seeds start here (campaign c, request j -> BASE+13c+j)
+DATA_SEED0 = 80_000
+
+#: drill rotation; index 0 is always the fault-free control
+KINDS = ("control", "kill_submit", "kill_reply", "stall", "kill_boot")
+
+#: error strings must start with one of these to count as *typed*
+_TYPED_PREFIXES = ("WorkerCrashed", "ServerShutdown", "ReproError",
+                   "CompileError", "ExecutorError", "DeadlineExceeded",
+                   "VerificationError", "AllocError", "KernelLaunchError",
+                   "BatchExecError", "PassError", "FusionCompileError")
+
+
+def build_spec(kind: str, seed: int, index: int) -> Optional[dict]:
+    """The campaign's deterministic worker-side fault schedule, as a
+    :meth:`~repro.faults.FaultPlan.to_spec` dict (live plans cannot
+    cross the spawn boundary)."""
+    rng = random.Random((seed << 16) ^ (index * 0x9E3779B1))
+    if kind == "control":
+        return None
+    if kind == "kill_submit":
+        rule = FaultRule(site=SITE_PROCESS_KILL, match="submit",
+                         nth=rng.randint(1, 3), fault=Fault())
+    elif kind == "kill_reply":
+        rule = FaultRule(site=SITE_PROCESS_KILL, match="reply",
+                         nth=rng.randint(0, 2), fault=Fault())
+    elif kind == "kill_boot":
+        rule = FaultRule(site=SITE_PROCESS_KILL, match="boot", nth=0,
+                         fault=Fault())
+    elif kind == "stall":
+        rule = FaultRule(site=SITE_HEARTBEAT_STALL,
+                         nth=rng.randint(0, 2), fault=Fault())
+    else:
+        raise ValueError(f"unknown drill kind {kind!r}")
+    return FaultPlan([rule], seed=(seed << 8) ^ index).to_spec()
+
+
+def _policy(store: str, spec: Optional[dict],
+            hang_timeout_s: float) -> ShardPolicy:
+    """Drill fleet policy.  ``max_batch_size=1`` keeps compile keys
+    identical across phases (coalesced-batch shapes depend on crash
+    timing, and the zero-warm-compiles gate needs the drill phase to
+    serve exactly the keys the populate phase published)."""
+    return ShardPolicy(
+        num_workers=2, store_root=store, fault_spec=spec,
+        heartbeat_interval_s=0.05, heartbeat_timeout_s=0.6,
+        max_respawns=2, redeliver_max=3,
+        request_timeout_s=hang_timeout_s,
+        worker_policy={"workers": 2, "max_batch_size": 1})
+
+
+def _bit_exact(outputs, expected) -> bool:
+    outputs = outputs if isinstance(outputs, tuple) else (outputs,)
+    expected = expected if isinstance(expected, tuple) else (expected,)
+    if len(outputs) != len(expected):
+        return False
+    for g, e in zip(outputs, expected):
+        ga = g.numpy() if hasattr(g, "numpy") else np.asarray(g)
+        ea = e.numpy() if hasattr(e, "numpy") else np.asarray(e)
+        if ga.shape != ea.shape or not np.array_equal(ga, ea,
+                                                      equal_nan=True):
+            return False
+    return True
+
+
+def _drive(router: ShardRouter, workload: str, seeds: List[int],
+           seq_len: int, hang_timeout_s: float,
+           refs: Dict[int, tuple]) -> Dict[str, int]:
+    """Submit one request per seed and score every response."""
+    out = {"requests": len(seeds), "ok": 0, "wrong": 0,
+           "typed_errors": 0, "untyped_errors": 0, "hangs": 0,
+           "redelivered_answered": 0, "floor_answered": 0}
+    futs = [router.submit(workload, seq_len=seq_len, seed=s,
+                          timeout_s=hang_timeout_s) for s in seeds]
+    for seed, fut in zip(seeds, futs):
+        try:
+            resp = fut.result(timeout=hang_timeout_s * 2)
+        except FutureTimeout:
+            out["hangs"] += 1
+            continue
+        except Exception:
+            out["untyped_errors"] += 1
+            continue
+        if resp.ok:
+            if not _bit_exact(resp.outputs, refs[seed]):
+                out["wrong"] += 1
+                continue
+            out["ok"] += 1
+            if resp.redelivered:
+                out["redelivered_answered"] += 1
+            if resp.served_by == "eager" and not resp.worker:
+                out["floor_answered"] += 1
+        elif resp.error and resp.error.startswith(_TYPED_PREFIXES):
+            out["typed_errors"] += 1
+        else:
+            out["untyped_errors"] += 1
+    return out
+
+
+def run_campaign(kind: str, workload: str, index: int,
+                 args: argparse.Namespace) -> Dict[str, object]:
+    """One two-phase drill campaign (populate fault-free, then drill
+    under the fault schedule with warm-started workers)."""
+    seeds = [DATA_SEED0 + index * 13 + j for j in range(args.requests)]
+    wl = get_workload(workload)
+    # the oracle: in-parent eager on the identical synthesized inputs,
+    # computed before any fleet exists
+    refs = {}
+    for s in seeds:
+        inputs = wl.make_inputs(batch_size=1, seq_len=args.seq_len,
+                                seed=s)
+        r = wl.model_fn(*inputs)
+        refs[s] = r if isinstance(r, tuple) else (r,)
+
+    store = tempfile.mkdtemp(prefix="sharddrill-store-")
+    start = time.perf_counter()
+    try:
+        # phase 1: populate the artifact store (no faults)
+        with ShardRouter(_policy(store, None,
+                                 args.hang_timeout_s)) as router:
+            router.wait_ready(2, timeout=60)
+            populate = _drive(router, workload, seeds, args.seq_len,
+                              args.hang_timeout_s, refs)
+            populate_report = router.report()
+
+        # phase 2: the drill — every worker warm-starts, then the
+        # fault schedule kills/stalls first incarnations
+        spec = build_spec(kind, args.seed, index)
+        with ShardRouter(_policy(store, spec,
+                                 args.hang_timeout_s)) as router:
+            router.wait_ready(2, timeout=60)
+            drill = _drive(router, workload, seeds, args.seq_len,
+                           args.hang_timeout_s, refs)
+            report = router.report()
+    finally:
+        shutil.rmtree(store, ignore_errors=True)
+
+    warm_compiles = max(report["worker_compiles"].values(), default=0)
+    result: Dict[str, object] = {
+        "index": index, "kind": kind, "workload": workload,
+        "control": kind == "control",
+        "populate": populate, "drill": drill,
+        "deaths": report["deaths"],
+        "death_reasons": report["death_reasons"],
+        "respawned": report["respawned"],
+        "redelivered": report["redelivered"],
+        "duplicates_dropped": report["duplicates_dropped"],
+        "replayed": report["replayed"],
+        "eager_floor": report["eager_floor"],
+        "warm_compiles": warm_compiles,
+        "populate_compiles": max(
+            populate_report["worker_compiles"].values(), default=0),
+        "wall_s": time.perf_counter() - start,
+    }
+    violations = (drill["hangs"] + drill["wrong"]
+                  + drill["untyped_errors"]
+                  + (drill["requests"] - drill["ok"])  # availability
+                  + populate["requests"] - populate["ok"]
+                  + warm_compiles)
+    if kind != "control" and kind != "stall" and report["deaths"] == 0:
+        # a kill campaign where nothing died never drilled anything
+        violations += 1
+        result["no_fault_fired"] = True
+    result["violations"] = violations
+    return result
+
+
+def run_campaigns(args: argparse.Namespace) -> Dict[str, object]:
+    """Run the rotation and aggregate the report."""
+    workloads = [w.strip() for w in args.workloads.split(",")
+                 if w.strip()]
+    campaigns = []
+    totals = {"requests": 0, "ok": 0, "hangs": 0, "wrong": 0,
+              "untyped_errors": 0, "deaths": 0, "respawned": 0,
+              "redelivered": 0, "duplicates_dropped": 0, "replayed": 0,
+              "eager_floor": 0, "warm_compiles": 0, "violations": 0}
+    for i in range(args.campaigns):
+        kind = KINDS[0] if i == 0 else KINDS[1 + (i - 1) % (len(KINDS)
+                                                           - 1)]
+        workload = workloads[i % len(workloads)]
+        result = run_campaign(kind, workload, i, args)
+        campaigns.append(result)
+        drill = result["drill"]
+        totals["requests"] += drill["requests"]
+        totals["ok"] += drill["ok"]
+        totals["hangs"] += drill["hangs"]
+        totals["wrong"] += drill["wrong"]
+        totals["untyped_errors"] += drill["untyped_errors"]
+        for k in ("deaths", "respawned", "redelivered",
+                  "duplicates_dropped", "replayed", "eager_floor",
+                  "warm_compiles", "violations"):
+            totals[k] += result[k]
+    totals["availability_pct"] = \
+        100.0 * totals["ok"] / max(1, totals["requests"])
+    return {
+        "config": {"seed": args.seed, "campaigns": args.campaigns,
+                   "workloads": workloads, "requests": args.requests,
+                   "seq_len": args.seq_len},
+        "campaigns": campaigns,
+        "totals": totals,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry; exit status = total gate violations."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.sharddrill",
+        description="seeded kill-the-worker campaigns against the "
+                    "sharded serving fleet")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--campaigns", type=int, default=10)
+    parser.add_argument("--workloads", type=str, default="lstm,attention")
+    parser.add_argument("--requests", type=int, default=6,
+                        help="requests per campaign phase")
+    parser.add_argument("--seq-len", type=int, default=8)
+    parser.add_argument("--hang-timeout-s", type=float, default=60.0)
+    parser.add_argument("--out", type=str,
+                        default="results/sharddrill.json")
+    args = parser.parse_args(argv)
+
+    report = run_campaigns(args)
+    t = report["totals"]
+    print(f"sharddrill: {args.campaigns} campaigns, {t['requests']} "
+          f"drill requests (seed {args.seed})")
+    print(f"  availability {t['availability_pct']:.1f}%  hangs "
+          f"{t['hangs']}  wrong {t['wrong']}  untyped "
+          f"{t['untyped_errors']}")
+    print(f"  deaths {t['deaths']}  respawned {t['respawned']}  "
+          f"redelivered {t['redelivered']}  duplicates dropped "
+          f"{t['duplicates_dropped']}  replayed {t['replayed']}")
+    print(f"  eager-floor answers {t['eager_floor']}  warm-restart "
+          f"compiles {t['warm_compiles']}")
+
+    failures = t["violations"]
+    report["failures"] = failures
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{failures} violation(s); wrote {out}")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,9 @@ from repro.errors import (CompileError, KernelError, OOMError, ReproError,
 from repro.eval.harness import CompileCache, run_workload
 from repro.faults import (ALL_SITES, Fault, FaultPlan, FaultRule,
                           KIND_LATENCY, SITE_ALLOC, SITE_BATCH_EXEC,
-                          SITE_FUSION_COMPILE, SITE_KERNEL_LAUNCH,
-                          SITE_PASS, StateAuditor, active_plan,
+                          SITE_FUSION_COMPILE, SITE_HEARTBEAT_STALL,
+                          SITE_KERNEL_LAUNCH, SITE_PASS,
+                          SITE_PROCESS_KILL, StateAuditor, active_plan,
                           fault_scope, global_fault_scope, maybe_inject)
 from repro.runtime import profiler, storage
 from repro.serve import ServePolicy, Server
@@ -264,4 +265,5 @@ def test_auditor_catches_leaked_profile_frame():
 def test_all_sites_enumerated():
     assert set(ALL_SITES) == {SITE_KERNEL_LAUNCH, SITE_ALLOC,
                               SITE_FUSION_COMPILE, SITE_PASS,
-                              SITE_BATCH_EXEC}
+                              SITE_BATCH_EXEC, SITE_PROCESS_KILL,
+                              SITE_HEARTBEAT_STALL}

@@ -658,3 +658,67 @@ class TestQuotasAndShedding:
             assert recovered.result(timeout=30).ok
         assert srv.stats.shed == 1
         assert srv.stats.shed_by_lane == {0: 1}
+
+
+class TestDrainDeadline:
+    """``shutdown(drain=True)`` is bounded: a wedged worker thread can
+    delay shutdown by at most the drain deadline, and whatever it
+    would have served is answered with a typed ``ServerShutdown``
+    rejection instead of hanging its waiters forever."""
+
+    def _wedge_plan(self, seconds):
+        from repro.faults import (Fault, FaultPlan, FaultRule,
+                                  KIND_LATENCY, SITE_BATCH_EXEC)
+        return FaultPlan([FaultRule(
+            site=SITE_BATCH_EXEC, probability=1.0, times=None,
+            fault=Fault(kind=KIND_LATENCY, latency_s=seconds))])
+
+    def test_wedged_worker_cannot_stall_shutdown(self):
+        from repro.faults import global_fault_scope
+        policy = ServePolicy(workers=1, max_batch_size=1,
+                             batch_wait_s=0.001, drain_timeout_s=0.3)
+        srv = Server(policy)
+        with global_fault_scope(self._wedge_plan(8.0)):
+            futs = [srv.submit("attention", seq_len=8, seed=s)
+                    for s in range(3)]
+            start = time.monotonic()
+            srv.shutdown(drain=True)
+            elapsed = time.monotonic() - start
+        assert elapsed < 4.0  # bounded by the deadline, not the wedge
+        assert srv.stats.drain_expired >= 1
+        # the wedged request's waiter is not our concern here; every
+        # *queued* request must already hold a typed rejection
+        done = [f for f in futs if f.done()]
+        assert len(done) >= 2
+        for f in done:
+            resp = f.result(timeout=0)
+            if resp.ok:
+                continue  # served before the worker wedged
+            assert resp.status == "cancelled"
+            assert "ServerShutdown" in resp.error \
+                or "shut down" in resp.error
+
+    def test_explicit_timeout_overrides_policy(self):
+        from repro.faults import global_fault_scope
+        policy = ServePolicy(workers=1, max_batch_size=1,
+                             batch_wait_s=0.001, drain_timeout_s=30.0)
+        srv = Server(policy)
+        with global_fault_scope(self._wedge_plan(8.0)):
+            futs = [srv.submit("attention", seq_len=8, seed=s)
+                    for s in range(2)]
+            start = time.monotonic()
+            srv.shutdown(drain=True, timeout=0.2)
+            elapsed = time.monotonic() - start
+        assert elapsed < 4.0
+        assert srv.stats.drain_expired >= 1
+        del futs
+
+    def test_clean_drain_leaves_no_expiry(self):
+        policy = ServePolicy(workers=1, max_batch_size=2,
+                             batch_wait_s=0.001, drain_timeout_s=10.0)
+        srv = Server(policy)
+        futs = [srv.submit("attention", seq_len=8, seed=s)
+                for s in range(4)]
+        srv.shutdown(drain=True)
+        assert all(f.result(timeout=0).ok for f in futs)
+        assert srv.stats.drain_expired == 0

@@ -1,0 +1,206 @@
+"""Artifact serialization: round-trips, tamper rejection, the store."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError
+from repro.eval.harness import (CompileCache, compile_cached_family,
+                                compile_key)
+from repro.models import get_workload, workload_names
+from repro.pipelines.registry import get_pipeline
+from repro.shard import (ARTIFACT_VERSION, ArtifactStore,
+                         deserialize_compiled, serialize_compiled)
+
+GRAPH_PIPELINES = ("tensorssa", "dynamo_inductor", "ts_nvfuser",
+                   "ts_nnc")
+
+
+def _fresh(workload, pipeline, seq_len=8):
+    """Compile one pair and return (workload, compiled, key, args)."""
+    wl = get_workload(workload)
+    args = wl.make_inputs(batch_size=1, seq_len=seq_len, seed=0)
+    pipe = get_pipeline(pipeline)
+    compiled = pipe.compile(wl.model_fn, example_args=args)
+    return wl, compiled, compile_key(pipe, wl, args), args
+
+
+def _assert_same_outputs(got, want):
+    got = got if isinstance(got, tuple) else (got,)
+    want = want if isinstance(want, tuple) else (want,)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert np.array_equal(g.numpy(), w.numpy(), equal_nan=True)
+
+
+def _tampered(data: bytes, mutate) -> bytes:
+    """Re-seal an artifact after ``mutate(payload)`` with a *valid*
+    checksum, so the deeper validators (not the checksum) must fire."""
+    from repro.shard.artifact import _canonical, _sha256
+    envelope = json.loads(data.decode("utf-8"))
+    mutate(envelope["payload"])
+    envelope["checksum"] = _sha256(_canonical(envelope["payload"]))
+    return json.dumps(envelope, sort_keys=True).encode("utf-8")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("workload", workload_names())
+    @pytest.mark.parametrize("pipeline", GRAPH_PIPELINES)
+    def test_every_workload_and_graph_pipeline(self, workload, pipeline):
+        wl, compiled, key, args = _fresh(workload, pipeline)
+        data = serialize_compiled(compiled, key)
+        restored = deserialize_compiled(data)
+        assert restored.key == key
+        assert restored.pipeline == compiled.pipeline
+        # all described kernels were pre-built during restore
+        payload = json.loads(data.decode("utf-8"))["payload"]
+        assert restored.kernels_built == len(payload["kernels"])
+        fresh_args = wl.make_inputs(batch_size=1, seq_len=8, seed=3)
+        _assert_same_outputs(restored.compiled.fn(*fresh_args),
+                             compiled.fn(*fresh_args))
+
+    def test_family_guards_round_trip(self):
+        wl = get_workload("lstm")
+        pipe = get_pipeline("tensorssa")
+        cache = CompileCache()
+        args = wl.make_inputs(batch_size=1, seq_len=8, seed=0)
+        compiled, _, family, _ = compile_cached_family(
+            pipe, wl, args, cache=cache)
+        key = ("tensorssa", wl.name, "family", family.family_id)
+        restored = deserialize_compiled(
+            serialize_compiled(compiled, key, family=family))
+        assert restored.family is not None
+        assert restored.family.family_id == family.family_id
+        assert {(g.kind, str(g.lhs), g.rhs) for g in
+                restored.family.guards} \
+            == {(g.kind, str(g.lhs), g.rhs) for g in family.guards}
+        assert restored.family.extent_bounds() == \
+            family.extent_bounds()
+
+    def test_eager_pipeline_is_not_serializable(self):
+        _, compiled, key, _ = _fresh("attention", "tensorssa")
+        eager = get_pipeline("eager").compile(
+            get_workload("attention").model_fn)
+        with pytest.raises(ArtifactError, match="no graph"):
+            serialize_compiled(eager, key)
+
+
+class TestRejection:
+    def _artifact(self):
+        _, compiled, key, _ = _fresh("attention", "tensorssa")
+        return serialize_compiled(compiled, key)
+
+    def test_malformed_bytes(self):
+        with pytest.raises(ArtifactError, match="malformed"):
+            deserialize_compiled(b"\xff\x00 not json")
+
+    def test_bad_magic(self):
+        envelope = json.loads(self._artifact().decode("utf-8"))
+        envelope["magic"] = "someone-elses-format"
+        with pytest.raises(ArtifactError, match="magic"):
+            deserialize_compiled(json.dumps(envelope).encode("utf-8"))
+
+    def test_corrupted_payload_fails_checksum(self):
+        envelope = json.loads(self._artifact().decode("utf-8"))
+        envelope["payload"]["pipeline"] = "tampered"
+        with pytest.raises(ArtifactError, match="checksum"):
+            deserialize_compiled(json.dumps(envelope).encode("utf-8"))
+
+    def test_version_mismatch(self):
+        def bump(payload):
+            payload["version"] = ARTIFACT_VERSION + 1
+
+        with pytest.raises(ArtifactError, match="version"):
+            deserialize_compiled(_tampered(self._artifact(), bump))
+
+    def test_stale_memory_plan_rejected(self):
+        data = self._artifact()
+        payload = json.loads(data.decode("utf-8"))["payload"]
+        if payload["memplan"] is None:
+            pytest.skip("pipeline records no memory plan")
+
+        def skew(payload):
+            payload["memplan"]["slots"][0]["occupants"] \
+                .append("%phantom")
+            payload["memplan"]["summary"] = "tampered"
+
+        with pytest.raises(ArtifactError, match="memory plan"):
+            deserialize_compiled(_tampered(data, skew))
+
+    def test_kernel_digest_mismatch_rejected(self):
+        data = self._artifact()
+        payload = json.loads(data.decode("utf-8"))["payload"]
+        if not payload["kernels"]:
+            pytest.skip("graph has no kernel-bearing nodes")
+
+        def skew(payload):
+            payload["kernels"][0]["source_sha256"] = "0" * 64
+
+        with pytest.raises(ArtifactError, match="kernel source"):
+            deserialize_compiled(_tampered(data, skew))
+
+
+class TestArtifactStore:
+    def test_put_load_round_trip(self, tmp_path):
+        wl, compiled, key, _ = _fresh("attention", "tensorssa")
+        store = ArtifactStore(str(tmp_path))
+        digest = store.put(key, compiled)
+        assert store.put(key, compiled) == digest  # idempotent
+        assert len(store) == 1
+        assert store.keys() == [key]
+        restored = store.load(key)
+        assert restored is not None and restored.key == key
+        assert store.load(("tensorssa", "lstm", ())) is None
+        assert store.puts == 2 and store.loads == 1
+
+    def test_corrupt_object_is_a_typed_error(self, tmp_path):
+        _, compiled, key, _ = _fresh("attention", "tensorssa")
+        store = ArtifactStore(str(tmp_path))
+        digest = store.put(key, compiled)
+        obj = os.path.join(str(tmp_path), "objects", digest)
+        with open(obj, "wb") as fh:
+            fh.write(b"garbage")
+        with pytest.raises(ArtifactError):
+            store.load(key)
+        assert store.errors == 1
+
+    def test_warm_start_pays_zero_compiles(self, tmp_path):
+        wl, compiled, key, args = _fresh("attention", "tensorssa")
+        store = ArtifactStore(str(tmp_path))
+        store.put(key, compiled)
+        cache = CompileCache()
+        assert store.warm_start(cache) == 1
+        hit_compiled, hit = cache.get_or_compile(
+            key, lambda: pytest.fail("warm cache must not compile"))
+        assert hit
+        snap = cache.snapshot()
+        assert snap.misses == 0 and snap.guard_misses == 0
+        _assert_same_outputs(hit_compiled.fn(*args), compiled.fn(*args))
+
+    def test_concurrent_store_handles_do_not_lose_puts(self, tmp_path):
+        """Regression: each compile key owns its own index record, so
+        two store handles (two worker processes in production) putting
+        distinct keys concurrently can never lose each other's entries
+        the way a monolithic read-modify-write index file did."""
+        wl = get_workload("attention")
+        pipe = get_pipeline("tensorssa")
+        pairs = []
+        for seq_len in (8, 12, 16, 20, 24, 28):
+            args = wl.make_inputs(batch_size=1, seq_len=seq_len, seed=0)
+            pairs.append((compile_key(pipe, wl, args),
+                          pipe.compile(wl.model_fn, example_args=args)))
+        stores = [ArtifactStore(str(tmp_path)) for _ in range(2)]
+        threads = [threading.Thread(
+            target=lambda i=i, k=k, c=c: stores[i % 2].put(k, c))
+            for i, (k, c) in enumerate(pairs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        merged = ArtifactStore(str(tmp_path))
+        assert sorted(merged.keys()) == sorted(k for k, _ in pairs)
+        cache = CompileCache()
+        assert merged.warm_start(cache) == len(pairs)
