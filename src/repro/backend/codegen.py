@@ -12,13 +12,31 @@ Generated source for a two-op group looks like::
         t0 = _OPS['immut::select'](v_b, 0, v_i)
         t1 = _OPS['aten::add'](t0, 1)
         return (t1,)
+
+Schedule hooks (:mod:`repro.tune`) enter here in three ways:
+
+* ``loop_order`` reorders the emitted statements (``"program"`` keeps
+  the pass ordering, ``"consumer"`` emits depth-first from the returns
+  so each value is computed right before its first use) — a pure
+  permutation of independent pure statements, bit-exact by construction;
+* :func:`compile_block_unrolled` emits a horizontal-loop body ``u``
+  times with carried state threaded through and an early exit between
+  iterations, so one kernel call executes up to ``u`` trips;
+* :func:`compile_block_chunked` emits a ``prim::ParallelMap`` body
+  ``c`` times on consecutive indices, returning the per-iteration
+  results as one flat tuple.
+
+Every compiled kernel carries ``__elementwise_safe__``: True only when
+the body is provably row-independent along axis 0 (whitelisted
+elementwise ops, no container constants, no captured objects), which is
+what licenses the runtime's ``tile_elems`` row tiling.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..ir.graph import Block, Value
+from ..ir.graph import Block, Node, Value
 from .kernels import OP_IMPLS
 
 
@@ -27,66 +45,277 @@ class CodegenError(RuntimeError):
     pass
 
 
+#: Ops whose outputs are computed independently per element (given all
+#: array operands share one shape), so slicing every array input along
+#: axis 0 and concatenating the outputs reproduces the unsliced result.
+#: Views, reductions, matmuls, and the immut window ops are excluded —
+#: they couple rows.  ``prim::`` scalar arithmetic is row-independent
+#: trivially (it never touches the tiled axis).
+ELEMENTWISE_SAFE_OPS = frozenset(op for op in OP_IMPLS
+                                 if op.startswith("prim::")) | frozenset({
+    "aten::add", "aten::sub", "aten::mul", "aten::div", "aten::pow",
+    "aten::maximum", "aten::minimum", "aten::neg", "aten::abs",
+    "aten::exp", "aten::log", "aten::sqrt", "aten::sigmoid",
+    "aten::tanh", "aten::relu", "aten::floor", "aten::ceil",
+    "aten::clamp", "aten::where", "aten::clone",
+    "aten::full_like", "aten::zeros_like", "aten::ones_like",
+    "aten::gt", "aten::lt", "aten::ge", "aten::le",
+    "aten::eq", "aten::ne",
+    "aten::logical_and", "aten::logical_or", "aten::logical_not",
+})
+
+
 def _const_literal(value) -> str:
+    """Python source for an inlinable constant.
+
+    Containers are validated *recursively*: a list or tuple is only
+    inlinable when every element is, otherwise ``repr`` would emit
+    source like ``[Tensor(...)]`` or ``[<dtype f32>]`` that either
+    fails to compile or silently rebuilds the wrong object.  Callers
+    catch :class:`CodegenError` and capture the value by reference
+    instead.
+    """
     if isinstance(value, (int, float, bool)) or value is None:
         return repr(value)
     if isinstance(value, str):
         return repr(value)
     if isinstance(value, (list, tuple)):
-        return repr(value)
+        elems = [_const_literal(v) for v in value]
+        if isinstance(value, tuple):
+            inner = ", ".join(elems) + ("," if len(elems) == 1 else "")
+            return f"({inner})"
+        return "[" + ", ".join(elems) + "]"
     raise CodegenError(f"cannot inline constant {value!r}")
 
 
+def _ordered_nodes(block: Block, loop_order: str = "program") -> List[Node]:
+    """The statement order a schedule asks for.
+
+    ``"program"`` is the order the fusion pass left; ``"consumer"`` is
+    a depth-first post-order from the returns (producers emitted
+    immediately before their first consumer, shortening live ranges).
+    Both orders contain exactly the block's nodes and respect def-use —
+    they are bit-exact permutations of each other.
+    """
+    if loop_order == "program" or len(block.nodes) < 2:
+        return list(block.nodes)
+    if loop_order != "consumer":
+        raise CodegenError(f"unknown loop order {loop_order!r}")
+    producer: Dict[int, Node] = {}
+    for node in block.nodes:
+        for out in node.outputs:
+            producer[id(out)] = node
+    ordered: List[Node] = []
+    visited = set()
+
+    def visit(node: Node) -> None:
+        if id(node) in visited:
+            return
+        visited.add(id(node))
+        for v in node.inputs:
+            dep = producer.get(id(v))
+            if dep is not None:
+                visit(dep)
+        ordered.append(node)
+
+    for ret in block.returns:
+        dep = producer.get(id(ret))
+        if dep is not None:
+            visit(dep)
+    # keep dead-but-present nodes (program order) so emission never
+    # loses a statement the default kernel would have run
+    for node in block.nodes:
+        visit(node)
+    return ordered
+
+
+class _Emitter:
+    """Shared statement emission across the plain, unrolled, and
+    chunked kernel shapes; tracks whether the emitted body stayed
+    inside the elementwise-safe fragment."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.captured: Dict[str, object] = {}
+        self._capture_ids: Dict[int, str] = {}
+        self._tmp = 0
+        self.elementwise_safe = True
+
+    def capture(self, value) -> str:
+        cid = self._capture_ids.get(id(value))
+        if cid is None:
+            cid = f"_c{len(self.captured)}"
+            self.captured[cid] = value
+            self._capture_ids[id(value)] = cid
+        return cid
+
+    def emit(self, nodes: Sequence[Node], names: Dict[int, str]) -> None:
+        """Append statements for ``nodes`` into ``names`` (mutated:
+        node outputs gain their temp names)."""
+        for node in nodes:
+            if node.op == "prim::Constant":
+                value = node.attrs["value"]
+                try:
+                    literal = _const_literal(value)
+                    if isinstance(value, (list, tuple)):
+                        # an inline container could broadcast against
+                        # a tiled axis; keep tiling off such kernels
+                        self.elementwise_safe = False
+                except CodegenError:
+                    literal = self.capture(value)
+                    self.elementwise_safe = False
+                names[id(node.output())] = literal
+                continue
+            if node.op not in OP_IMPLS:
+                raise CodegenError(f"op {node.op} is not compilable")
+            if node.op not in ELEMENTWISE_SAFE_OPS:
+                self.elementwise_safe = False
+            args = ", ".join(_name_of(names, v) for v in node.inputs)
+            out = f"t{self._tmp}"
+            self._tmp += 1
+            names[id(node.output())] = out
+            self.lines.append(f"    {out} = _OPS[{node.op!r}]({args})")
+
+    def finish(self, name: str, header: str, source_lines: List[str],
+               elementwise: bool) -> Callable:
+        source = header + "\n".join(source_lines) + "\n"
+        scope = {"_OPS": OP_IMPLS, **self.captured}
+        code = compile(source, f"<fusion:{name}>", "exec")
+        exec(code, scope)  # noqa: S102 - JIT compilation of our own source
+        fn = scope[name]
+        fn.__source__ = source
+        fn.__elementwise_safe__ = elementwise
+        return fn
+
+
+def _bind_params(params: Sequence[Value],
+                 names: Dict[int, str]) -> Optional[str]:
+    for i, p in enumerate(params):
+        names[id(p)] = f"v{i}"
+    if not params:
+        return None
+    unpack = ", ".join(names[id(p)] for p in params)
+    return (f"    {unpack}{',' if len(params) == 1 else ''}"
+            f" = _args")
+
+
 def compile_block(block: Block, name: str = "_kernel",
-                  extra_inputs: Sequence[Value] = ()) -> Callable:
+                  extra_inputs: Sequence[Value] = (),
+                  loop_order: str = "program") -> Callable:
     """Compile a fusion-group body into ``fn(args) -> tuple``.
 
     ``args`` must follow ``block.params`` order, then ``extra_inputs``
     (free values captured from enclosing scopes — used by horizontal
     loops).  Non-inlinable constants (tensors, dtypes) are captured by
-    object reference.
+    object reference.  ``loop_order`` selects the statement order (see
+    :func:`_ordered_nodes`); both orders produce bit-identical results.
     """
+    em = _Emitter()
     names: Dict[int, str] = {}
-    lines: List[str] = []
-    captured: Dict[str, object] = {}
-
     params = list(block.params) + list(extra_inputs)
-    for i, p in enumerate(params):
-        names[id(p)] = f"v{i}"
-    unpack = ", ".join(names[id(p)] for p in params)
-    if params:
-        lines.append(f"    {unpack}{',' if len(params) == 1 else ''}"
-                     f" = _args")
+    bind = _bind_params(params, names)
+    if bind is not None:
+        em.lines.append(bind)
 
-    tmp = 0
-    for node in block.nodes:
-        if node.op == "prim::Constant":
-            value = node.attrs["value"]
-            try:
-                names[id(node.output())] = _const_literal(value)
-            except CodegenError:
-                cname = f"_c{len(captured)}"
-                captured[cname] = value
-                names[id(node.output())] = cname
-            continue
-        if node.op not in OP_IMPLS:
-            raise CodegenError(f"op {node.op} is not compilable")
-        args = ", ".join(_name_of(names, v) for v in node.inputs)
-        out = f"t{tmp}"
-        tmp += 1
-        names[id(node.output())] = out
-        lines.append(f"    {out} = _OPS[{node.op!r}]({args})")
+    em.emit(_ordered_nodes(block, loop_order), names)
 
     rets = ", ".join(_name_of(names, r) for r in block.returns)
-    lines.append(f"    return ({rets}{',' if len(block.returns) == 1 else ''})")
+    em.lines.append(
+        f"    return ({rets}{',' if len(block.returns) == 1 else ''})")
 
-    source = f"def {name}(_args):\n" + "\n".join(lines) + "\n"
-    scope = {"_OPS": OP_IMPLS, **captured}
-    code = compile(source, f"<fusion:{name}>", "exec")
-    exec(code, scope)  # noqa: S102 - JIT compilation of our own source
-    fn = scope[name]
-    fn.__source__ = source
-    return fn
+    return em.finish(name, f"def {name}(_args):\n", em.lines,
+                     em.elementwise_safe and bool(params))
+
+
+def compile_block_unrolled(block: Block, factor: int,
+                           name: str = "_hloop_u",
+                           extra_inputs: Sequence[Value] = (),
+                           loop_order: str = "program") -> Callable:
+    """Compile a horizontal-loop body unrolled ``factor`` times.
+
+    The body's calling convention is ``(index, *carried, *captures) ->
+    (continue, *carried)``; the unrolled kernel keeps the argument
+    shape but returns ``(trips_done, continue, *carried)`` and
+    early-exits between emitted iterations when the body's continue
+    flag goes false — so a dynamic loop condition stays exact.  Callers
+    must only invoke it when at least ``factor`` trips remain before
+    ``max_trip`` (the remainder runs on the plain kernel).
+    """
+    if factor < 2:
+        raise CodegenError("unroll factor must be >= 2")
+    if not block.params:
+        raise CodegenError("horizontal loop body must take the index")
+
+    em = _Emitter()
+    names: Dict[int, str] = {}
+    params = list(block.params) + list(extra_inputs)
+    bind = _bind_params(params, names)
+    if bind is not None:
+        em.lines.append(bind)
+    index_name = names[id(block.params[0])]
+    carried_params = list(block.params[1:])
+    n_carried = len(carried_params)
+
+    nodes = _ordered_nodes(block, loop_order)
+    # carried state names entering the current iteration
+    state = [names[id(p)] for p in carried_params]
+    cond_name = ""
+    for k in range(factor):
+        iter_names = dict(names)
+        iter_names[id(block.params[0])] = index_name if k == 0 \
+            else f"({index_name} + {k})"
+        for p, live in zip(carried_params, state):
+            iter_names[id(p)] = live
+        em.emit(nodes, iter_names)
+        cond_name = _name_of(iter_names, block.returns[0])
+        state = [_name_of(iter_names, r) for r in block.returns[1:]]
+        assert len(state) == n_carried
+        tail = "".join(f", {s}" for s in state)
+        if k < factor - 1:
+            em.lines.append(f"    if not {cond_name}:")
+            em.lines.append(f"        return ({k + 1}, {cond_name}{tail})")
+    em.lines.append(f"    return ({factor}, {cond_name}{tail})")
+
+    return em.finish(name, f"def {name}(_args):\n", em.lines, False)
+
+
+def compile_block_chunked(block: Block, chunk: int,
+                          name: str = "_pmap_c",
+                          loop_order: str = "program") -> Callable:
+    """Compile a ``prim::ParallelMap`` body ``chunk`` iterations per
+    call.
+
+    The body's convention is ``(index, *captures) -> returns``; the
+    chunked kernel evaluates indices ``i, i+1, ..., i+chunk-1`` and
+    returns all results as one flat, iteration-major tuple (``chunk *
+    len(returns)`` entries).  Iterations of a parallel map are
+    independent by construction, so no early exit is needed; callers
+    handle the trip-count remainder with the plain kernel.
+    """
+    if chunk < 2:
+        raise CodegenError("chunk must be >= 2")
+    if not block.params:
+        raise CodegenError("parallel-map body must take the index")
+
+    em = _Emitter()
+    names: Dict[int, str] = {}
+    bind = _bind_params(list(block.params), names)
+    if bind is not None:
+        em.lines.append(bind)
+    index_name = names[id(block.params[0])]
+
+    nodes = _ordered_nodes(block, loop_order)
+    flat: List[str] = []
+    for k in range(chunk):
+        iter_names = dict(names)
+        iter_names[id(block.params[0])] = index_name if k == 0 \
+            else f"({index_name} + {k})"
+        em.emit(nodes, iter_names)
+        flat.extend(_name_of(iter_names, r) for r in block.returns)
+    em.lines.append(f"    return ({', '.join(flat)}"
+                    f"{',' if len(flat) == 1 else ''})")
+
+    return em.finish(name, f"def {name}(_args):\n", em.lines, False)
 
 
 def _name_of(names: Dict[int, str], v: Value) -> str:

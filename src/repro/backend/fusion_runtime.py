@@ -12,12 +12,21 @@ allocations route through the active :class:`~repro.runtime.storage.
 MemoryPool` when the interpreter runs under a memory plan, which is how
 fused kernels participate in buffer donation (a dying operand's bytes,
 released just before the launch, serve the outputs).
+
+Schedules: every launch consults :func:`repro.tune.schedule.
+active_schedule` — statement order and unroll/chunk factors select a
+*kernel variant* (compiled lazily, cached per node alongside the
+default kernel), ``tile_elems`` row-tiles elementwise-safe groups at
+launch time.  The default kernel always lives at ``attrs["kernel"]``
+(the shard artifact codec serializes exactly that slot); variants live
+in ``attrs["kernel_variants"]`` and recompile on demand wherever the
+artifact is restored.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,7 +35,9 @@ from ..ir.graph import Node
 from ..obs import trace as obs_trace
 from ..runtime import profiler
 from ..runtime.tensor import Tensor
-from .codegen import compile_block
+from ..tune.schedule import Schedule, active_schedule
+from .codegen import (compile_block, compile_block_chunked,
+                      compile_block_unrolled)
 from .kernels import execute_kernel, pre_launch
 
 #: Guards lazy per-node kernel compilation: compiled graphs are shared
@@ -36,25 +47,59 @@ from .kernels import execute_kernel, pre_launch
 _kernel_lock = threading.Lock()
 
 
-def _node_kernel(node: Node, build: Callable[[], object]) -> object:
+def _node_kernel(node: Node, build: Callable[[], object],
+                 variant: Optional[tuple] = None) -> object:
     """The node's cached kernel, compiling once under the lock.
+
+    ``variant=None`` is the default-schedule kernel at
+    ``attrs["kernel"]`` — the slot the artifact codec round-trips.
+    Schedule variants key ``attrs["kernel_variants"]`` by their knob
+    tuple and never touch the default slot.
 
     Also the ``fusion_compile`` fault checkpoint: an injected
     :class:`~repro.errors.CompileError` raises before ``attrs`` is
     touched, so the node simply stays uncompiled — a later execution
     (e.g. on a retried rung) compiles it cleanly.
     """
-    kernel = node.attrs.get("kernel")
+    if variant is None:
+        kernel = node.attrs.get("kernel")
+        if kernel is None:
+            with _kernel_lock:
+                kernel = node.attrs.get("kernel")
+                if kernel is None:
+                    with obs_trace.span("kernel:compile", cat="compile",
+                                        op=node.op):
+                        maybe_inject(SITE_FUSION_COMPILE, node.op)
+                        kernel = build()
+                        node.attrs["kernel"] = kernel
+        return kernel
+    variants = node.attrs.get("kernel_variants")
+    kernel = variants.get(variant) if variants is not None else None
     if kernel is None:
         with _kernel_lock:
-            kernel = node.attrs.get("kernel")
+            variants = node.attrs.setdefault("kernel_variants", {})
+            kernel = variants.get(variant)
             if kernel is None:
                 with obs_trace.span("kernel:compile", cat="compile",
-                                    op=node.op):
+                                    op=node.op, variant=str(variant)):
                     maybe_inject(SITE_FUSION_COMPILE, node.op)
                     kernel = build()
-                    node.attrs["kernel"] = kernel
+                    variants[variant] = kernel
     return kernel
+
+
+def _group_kernel(node: Node, sched: Schedule) -> object:
+    """The fusion-group kernel for ``sched`` (loop order is the only
+    group-level compile knob)."""
+    order = sched.loop_order
+    if order == "program":
+        return _node_kernel(
+            node, lambda: compile_block(node.blocks[0], name="_fusion"))
+    return _node_kernel(
+        node,
+        lambda: compile_block(node.blocks[0], name="_fusion",
+                              loop_order=order),
+        variant=("order", order))
 
 
 def _unwrap(x):
@@ -81,15 +126,72 @@ def _io_bytes(values) -> int:
     return total
 
 
+def _tiled_launch(kernel, raw: List[object], tile_elems: int,
+                  n_returns: int) -> Optional[List[object]]:
+    """Row-tiled launch of an elementwise-safe kernel; None when the
+    inputs don't qualify (caller falls back to the whole launch).
+
+    Splits every array argument into row blocks of ~``tile_elems``
+    elements along axis 0 and concatenates the per-tile outputs.  Only
+    sound when all array args share one shape (no broadcasting across
+    the tiled axis) — checked here per launch, and double-checked on
+    the first tile's output shapes, so a mis-tuned schedule can never
+    change results, only skip the optimization.
+    """
+    arrays = [(i, a) for i, a in enumerate(raw)
+              if isinstance(a, np.ndarray)]
+    if not arrays:
+        return None
+    shape = arrays[0][1].shape
+    if len(shape) < 2 or any(a.shape != shape for _, a in arrays[1:]):
+        return None
+    rows = shape[0]
+    per_row = int(np.prod(shape[1:], dtype=np.int64))
+    tile_rows = max(1, tile_elems // max(per_row, 1))
+    if rows <= tile_rows:
+        return None
+
+    outs: Optional[List[List[np.ndarray]]] = None
+    for start in range(0, rows, tile_rows):
+        stop = min(start + tile_rows, rows)
+        tile_args = list(raw)
+        for i, a in arrays:
+            tile_args[i] = a[start:stop]
+        result = kernel(tile_args)
+        if outs is None:
+            # first tile validates the static analysis dynamically:
+            # every output must be row-shaped or tiling is off
+            if len(result) != n_returns or any(
+                    not isinstance(r, np.ndarray) or r.ndim < 1
+                    or r.shape[0] != stop - start for r in result):
+                return None
+            outs = [[r] for r in result]
+        else:
+            for k, r in enumerate(result):
+                outs[k].append(r)
+    return [np.concatenate(chunks, axis=0) for chunks in outs]
+
+
 def execute_group(node: Node, inputs: Sequence[object]) -> List[object]:
     """Run a ``prim::FusionGroup``: compile-once, launch-once."""
-    kernel = _node_kernel(
-        node, lambda: compile_block(node.blocks[0], name="_fusion"))
+    sched = active_schedule()
+    kernel = _group_kernel(node, sched)
     n_ops = node.attrs.get("num_member_ops", len(node.blocks[0].nodes))
     with obs_trace.span("kernel:fusion_group", cat="exec",
-                        fused_ops=n_ops):
-        raw = execute_kernel(kernel, [_unwrap(x) for x in inputs],
-                             "fusion_group")
+                        fused_ops=n_ops) as sp:
+        raw = None
+        args = [_unwrap(x) for x in inputs]
+        if sched.tile_elems > 0 \
+                and getattr(kernel, "__elementwise_safe__", False):
+            pre_launch("fusion_group")  # one launch covers every tile
+            raw = _tiled_launch(kernel, args, sched.tile_elems,
+                                len(node.blocks[0].returns))
+            if raw is not None and sp is not None:
+                sp.args["tiled"] = True
+            if raw is None:
+                raw = kernel(args)
+        else:
+            raw = execute_kernel(kernel, args, "fusion_group")
         outputs = [_wrap(r) for r in raw]
         out_elems = sum(o.numel for o in outputs if isinstance(o, Tensor))
         profiler.record_launch("fusion_group",
@@ -109,8 +211,15 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
     through sequentially (correct for any pure body; on real hardware
     the independent-slot case runs in parallel, which only changes time,
     not values).
+
+    Under a schedule with ``hloop_unroll > 1``, blocks of that many
+    iterations run through an unrolled kernel variant (which early-exits
+    if the loop condition goes false mid-block); the remainder — and
+    any trip within ``unroll`` of the cap — runs the plain body kernel,
+    so trip counts and dynamic conditions stay exact.
     """
     body = node.blocks[0]
+    sched = active_schedule()
 
     def _build():
         from ..ir.graph import free_values
@@ -118,6 +227,17 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
                              extra_inputs=free_values(body))
 
     kernel = _node_kernel(node, _build)
+    unroll = sched.hloop_unroll
+    kernel_u = None
+    if unroll > 1 and max_trip >= unroll:
+        def _build_u():
+            from ..ir.graph import free_values
+            return compile_block_unrolled(body, unroll, name="_hloop_u",
+                                          extra_inputs=free_values(body),
+                                          loop_order=sched.loop_order)
+        kernel_u = _node_kernel(node, _build_u,
+                                variant=("unroll", unroll,
+                                         sched.loop_order))
 
     with obs_trace.span("kernel:parallel_loop", cat="exec",
                         max_trip=max_trip) as sp:
@@ -127,34 +247,67 @@ def run_horizontal_loop(node: Node, max_trip: int, cond: bool,
         i = 0
         alive = bool(cond)
         while alive and i < max_trip:
-            results = kernel([i] + state + caps)
-            alive = bool(results[0])
-            state = list(results[1:])
-            i += 1
+            if kernel_u is not None and max_trip - i >= unroll:
+                results = kernel_u([i] + state + caps)
+                i += int(results[0])
+                alive = bool(results[1])
+                state = list(results[2:])
+            else:
+                results = kernel([i] + state + caps)
+                alive = bool(results[0])
+                state = list(results[1:])
+                i += 1
 
         outputs = [_wrap(s) for s in state]
         n_ops = node.attrs.get("num_member_ops", len(body.nodes))
         if sp is not None:
             sp.args["trips"] = i
+        # a zero-trip loop did no fused work: 0 ops, 0 flops (the
+        # launch itself still happened and is recorded)
+        out_elems = sum(o.numel for o in outputs if isinstance(o, Tensor))
         profiler.record_launch(
             "parallel_loop",
             nbytes=_io_bytes(carried) + _io_bytes(captures)
             + _io_bytes(outputs),
-            flops=sum(o.numel for o in outputs if isinstance(o, Tensor))
-            * max(n_ops, 1),
-            fused_ops=n_ops * max(i, 1))
+            flops=out_elems * max(n_ops, 1) * min(i, 1),
+            fused_ops=n_ops * i)
     return outputs
 
 
 def run_parallel_map(node: Node, inputs: List[object]) -> List[object]:
-    """Execute a standalone ``prim::ParallelMap`` (trip, *captures)."""
+    """Execute a standalone ``prim::ParallelMap`` (trip, *captures).
+
+    ``pmap_chunk`` batches that many independent iterations per
+    compiled-kernel call (a chunked variant returns them as one flat
+    tuple); the trip-count remainder runs the plain body kernel.
+    """
     body = node.blocks[0]
+    sched = active_schedule()
     kernel = _node_kernel(node, lambda: compile_block(body, name="_pmap"))
     trip = int(inputs[0])
+    chunk = sched.pmap_chunk
+    kernel_c = None
+    if chunk > 1 and trip >= chunk:
+        kernel_c = _node_kernel(
+            node,
+            lambda: compile_block_chunked(body, chunk, name="_pmap_c",
+                                          loop_order=sched.loop_order),
+            variant=("chunk", chunk, sched.loop_order))
     caps = [_unwrap(c) for c in inputs[1:]]
+    n_ret = len(body.returns)
     with obs_trace.span("kernel:parallel_map", cat="exec", trip=trip):
         pre_launch("parallel_map")  # one launch covers the whole map
-        per_iter = [kernel([i] + caps) for i in range(trip)]
+        per_iter = []
+        i = 0
+        while i < trip:
+            if kernel_c is not None and trip - i >= chunk:
+                flat = kernel_c([i] + caps)
+                per_iter.extend(flat[k * n_ret:(k + 1) * n_ret]
+                                for k in range(chunk))
+                i += chunk
+            else:
+                per_iter.append(kernel([i] + caps))
+                i += 1
         outputs = [_wrap(np.stack([r[k] for r in per_iter]))
                    for k in range(len(body.returns))]
         profiler.record_launch(

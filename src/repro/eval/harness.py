@@ -46,6 +46,8 @@ from ..obs import trace as obs_trace
 from ..pipelines import Pipeline, get_pipeline
 from ..pipelines.base import Compiled
 from ..symshape.family import FamilyTable, ShapeFamily, compiling_family
+from ..tune.db import shape_key_text, tuning_key
+from ..tune.schedule import active_schedule, schedule_scope
 from .platforms import Platform, get_platform
 
 
@@ -102,6 +104,11 @@ class CompileCache:
         #: shape families for dynamic-shape lookups; cleared with the
         #: entries on every epoch boundary
         self.families = FamilyTable()
+        #: optional :class:`repro.tune.db.TuningDB` — when set, every
+        #: run looks up the best-known schedule for its (workload,
+        #: shape key, platform) and executes under it; a persistent
+        #: store, it deliberately survives ``clear()`` epochs
+        self.tuning_db = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -269,6 +276,11 @@ class RunResult:
     #: which family served it and the table verdict (hit/new/guard_miss)
     family_id: str = ""
     family_outcome: str = ""
+    #: kernel-schedule observability: the schedule this run executed
+    #: under, and whether it came from a tuning-DB hit (``tuned``) as
+    #: opposed to the default or an explicit ``schedule_scope``
+    tuned: bool = False
+    schedule_id: str = "default"
     wallclock_s: Optional[float] = None
     #: degradation-ladder observability (``run_workload_resilient``):
     #: which rung actually served the run, how far down the chain it
@@ -442,6 +454,7 @@ def _run_workload_traced(workload, pipeline, platform, batch_size,
     args = wl.make_inputs(batch_size=batch_size, seq_len=seq_len, seed=seed)
     family_id = ""
     family_outcome = ""
+    family = None
     with obs_trace.span("harness:compile", cat="compile",
                         pipeline=pipeline, workload=workload):
         if dynamic_shapes:
@@ -455,9 +468,25 @@ def _run_workload_traced(workload, pipeline, platform, batch_size,
                                                       cache=cache,
                                                       grad=grad)
 
+    # resolve the kernel schedule: an explicit schedule_scope wins;
+    # otherwise a tuning-DB hit for (workload, shape key, platform)
+    # upgrades the run from the default lowering
+    sched = None
+    tuned = False
+    if cache.tuning_db is not None and active_schedule().is_default:
+        shape_key = shape_key_text(
+            family.shape_key() if family is not None
+            else _shape_signature(args))
+        sched = cache.tuning_db.best(
+            tuning_key(workload, shape_key, platform))
+        tuned = sched is not None and not sched.is_default
+    schedule_id = (sched if sched is not None
+                   else active_schedule()).schedule_id
+
     run_args = clone_args(args)  # outside the profile: input prep is
-    with obs_trace.span("harness:execute", cat="exec",
-                        pipeline=pipeline, workload=workload):
+    with schedule_scope(sched), \
+            obs_trace.span("harness:execute", cat="exec",
+                           pipeline=pipeline, workload=workload):
         with rt.profile() as prof:  # not part of the measured run
             if grad:
                 with obs_trace.span("harness:backward", cat="exec",
@@ -480,8 +509,9 @@ def _run_workload_traced(workload, pipeline, platform, batch_size,
     wallclock = None
     if measure_wallclock:
         best = float("inf")
-        with obs_trace.span("harness:wallclock", cat="exec",
-                            repeats=repeats):
+        with schedule_scope(sched), \
+                obs_trace.span("harness:wallclock", cat="exec",
+                               repeats=repeats):
             for _ in range(repeats):
                 run_args = clone_args(args)
                 start = time.perf_counter()
@@ -509,6 +539,8 @@ def _run_workload_traced(workload, pipeline, platform, batch_size,
         cache_guard_misses=snap.guard_misses,
         family_id=family_id,
         family_outcome=family_outcome,
+        tuned=tuned,
+        schedule_id=schedule_id,
         wallclock_s=wallclock,
         served_by=pipeline,
         outputs=outputs if isinstance(outputs, tuple) else (outputs,),

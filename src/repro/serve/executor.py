@@ -54,6 +54,8 @@ from ..faults import SITE_BATCH_EXEC, maybe_inject
 from ..obs import trace as obs_trace
 from ..pipelines import Pipeline, get_pipeline
 from ..symshape.bucketing import get_pad_spec
+from ..tune.db import shape_key_text, tuning_key
+from ..tune.schedule import active_schedule, schedule_scope
 from .batching import BatchPlan, coalesce, scatter
 from .policy import VERIFY_BATCH, VERIFY_OFF, VERIFY_SOLO, ServePolicy
 from .request import (Request, Response, STATUS_ERROR, STATUS_OK,
@@ -139,10 +141,16 @@ class BatchExecutor:
                 except DeadlineExceeded as exc:
                     self._finish_timeout(plan.requests, str(exc))
                 except Exception as exc:  # batch path failed -> solo
-                    self._retry_solo(plan.requests, first_error=exc)
+                    # classify at the catch so the typed taxonomy
+                    # (retryable? injected?) survives into solo retries
+                    self._retry_solo(plan.requests,
+                                     first_error=classify(exc))
         finally:
             self.stats.set_cache_snapshot(self.cache.snapshot())
             self.stats.set_breaker_transitions(self.breakers.transitions())
+            db = getattr(self.cache, "tuning_db", None)
+            if db is not None:
+                self.stats.set_tuning_snapshot(db.snapshot())
 
     def _coalesce(self, requests: List[Request]) -> BatchPlan:
         """Coalesce under a ``serve:coalesce`` span, stamping each
@@ -345,14 +353,31 @@ class BatchExecutor:
         # failure raises here, after compilation but before device time
         maybe_inject(SITE_BATCH_EXEC, f"{wl.name}/{pipe.name}")
 
+        # best-known schedule for this (workload, shape key, platform):
+        # a pure DB read — the serve path never searches
+        sched = None
+        tuned = False
+        schedule_id = active_schedule().schedule_id
+        db = getattr(self.cache, "tuning_db", None)
+        if db is not None and active_schedule().is_default:
+            shape_key = shape_key_text(
+                family.shape_key() if dyn else key[2])
+            sched = db.best(
+                tuning_key(wl.name, shape_key, req0.platform))
+            if sched is not None:
+                tuned = not sched.is_default
+                schedule_id = sched.schedule_id
+
         for req in plan.requests:
-            req.mark("execute", pipeline=pipe.name, cache_hit=hit)
+            req.mark("execute", pipeline=pipe.name, cache_hit=hit,
+                     schedule=schedule_id)
         start = time.perf_counter()
         run_args = clone_args(plan.args)
         with obs_trace.span("serve:execute", cat="serve", pipeline=pipe.name,
                             requests=len(plan.requests),
-                            rows=plan.total_rows, cache_hit=hit):
-            with rt.profile() as prof:
+                            rows=plan.total_rows, cache_hit=hit,
+                            schedule=schedule_id):
+            with schedule_scope(sched), rt.profile() as prof:
                 outputs = compiled(*run_args)
         wall = time.perf_counter() - start
 
@@ -381,7 +406,8 @@ class BatchExecutor:
                 batch_latency_us=latency_us,
                 kernel_launches=prof.num_launches,
                 queue_wait_s=done - req.enqueued_at - wall,
-                exec_wall_s=wall, cache_hit=hit, verified=verified),
+                exec_wall_s=wall, cache_hit=hit, tuned=tuned,
+                schedule_id=schedule_id, verified=verified),
                 fallback=depth > 0)
 
     def _should_skip_cold_compile(self, plan: BatchPlan,
@@ -448,12 +474,14 @@ class BatchExecutor:
             try:
                 self._run_one_eager(req, retries=0, fallback=True)
             except Exception as exc:
-                self._finish(req, Response(
+                err = classify(exc)  # keep the typed taxonomy in the
+                self._finish(req, Response(  # reported error
                     request_id=req.id, workload=req.workload.name,
                     pipeline=req.pipeline, platform=req.platform,
                     status=STATUS_ERROR, served_by="eager",
                     fallback_depth=1, degraded=True,
-                    error=f"{reason}; eager fallback failed: {exc}"),
+                    error=f"{reason}; eager fallback failed: "
+                          f"{type(err).__name__}: {err}"),
                     fallback=True)
 
     def _run_one_eager(self, req: Request, retries: int,
@@ -491,24 +519,44 @@ class BatchExecutor:
 
     def _retry_solo(self, requests: Sequence[Request],
                     first_error: Exception) -> None:
-        """Batch execution failed: isolate requests and retry solo."""
+        """Batch execution failed: isolate requests and retry solo.
+
+        The batch error is classified into the typed taxonomy first:
+        :class:`DeadlineExceeded` answers every member as a timeout
+        (never retried), and a solo attempt that raises a
+        *non-retryable* typed error stops that request's retry loop
+        instead of hammering a fault retries cannot fix.
+        """
+        first = classify(first_error)
+        if isinstance(first, DeadlineExceeded):
+            self._finish_timeout(requests, str(first))
+            return
         for req in requests:
-            last: Exception = first_error
+            last: BaseException = first
+            served = False
             for attempt in range(1, self.policy.max_retries + 1):
                 try:
                     self._run_one_eager(req, retries=attempt, fallback=True)
+                    served = True
+                    break
+                except DeadlineExceeded as exc:
+                    self._finish_timeout([req], str(exc))
+                    served = True
                     break
                 except Exception as exc:
-                    last = exc
-            else:
+                    last = classify(exc)
+                    if not is_retryable(last):
+                        break
+            if not served:
                 self._finish(req, Response(
                     request_id=req.id, workload=req.workload.name,
                     pipeline=req.pipeline, platform=req.platform,
                     status=STATUS_ERROR, served_by="eager",
                     fallback_depth=1, degraded=True,
                     retries=self.policy.max_retries,
-                    error=f"batch failed ({first_error}); "
-                          f"solo retries exhausted: {last}"),
+                    error=f"batch failed ({type(first).__name__}: "
+                          f"{first}); solo retries exhausted: "
+                          f"{type(last).__name__}: {last}"),
                     fallback=True)
 
     # -- delivery -------------------------------------------------------
@@ -527,7 +575,8 @@ class BatchExecutor:
             cache_hit=resp.cache_hit, fallback=fallback,
             retries=resp.retries, verified=resp.verified,
             fallback_depth=resp.fallback_depth, degraded=resp.degraded,
-            priority=req.priority)
+            priority=req.priority, tuned=resp.tuned,
+            schedule_id=resp.schedule_id if resp.ok else "")
         req.mark("finish", status=resp.status,
                  served_by=resp.served_by or resp.pipeline)
         if req.timeline:

@@ -83,8 +83,18 @@ class Server:
         #: figure sweeps; inject a cache to share compilations
         self.cache = cache if cache is not None \
             else CompileCache(capacity=self.policy.cache_capacity)
+        if self.policy.tuning_db_path \
+                and getattr(self.cache, "tuning_db", None) is None:
+            # read-side attach: the serve path only ever looks up
+            # best-known schedules; tools/tune writes the entries
+            from ..tune.db import TuningDB
+            self.cache.tuning_db = TuningDB(self.policy.tuning_db_path)
         self.stats = stats or ServerStats(
             recent_window=self.policy.shed_window)
+        if getattr(self.cache, "tuning_db", None) is not None:
+            # seed the snapshot so ``tune_db`` counters are reported
+            # even before (or without) any batch executing
+            self.stats.set_tuning_snapshot(self.cache.tuning_db.snapshot())
         self.executor = BatchExecutor(self.policy, self.cache, self.stats)
         #: injectable for deterministic scheduler/quota tests; the
         #: executor keeps real monotonic time, so only inject a fake

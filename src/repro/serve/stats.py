@@ -71,6 +71,9 @@ class ServerStats:
         self._bucket_padded = reg.counter("serve.bucket_padded_units")
         self._cache_hits = reg.counter("serve.request_cache_hits")
         self._cache_misses = reg.counter("serve.request_cache_misses")
+        #: requests served under a tuning-DB schedule (autotuning)
+        self._tuned = reg.counter("serve.tuned")
+        self._schedules = reg.labeled_counter("serve.schedule")
         self._queue_depth = reg.gauge("serve.queue_depth")
         self._batch_sizes = reg.labeled_counter("serve.batch_size")
         self._fallback_depths = reg.labeled_counter("serve.fallback_depth")
@@ -99,6 +102,10 @@ class ServerStats:
         #: by the executor at snapshot time
         self.breaker_transitions: Dict[str, int] = {}
         self.cache_snapshot: Optional[CacheStats] = None
+        #: tuning-DB counter snapshot (hits/misses/searches...), set by
+        #: the executor when a DB is attached; ``searches == 0`` is the
+        #: proof that serving performed no tuning-time work
+        self.tuning_snapshot: Optional[Dict[str, int]] = None
 
     # -- recording ------------------------------------------------------
 
@@ -158,7 +165,9 @@ class ServerStats:
                     verified: Optional[bool],
                     fallback_depth: int = 0,
                     degraded: bool = False,
-                    priority: int = 0) -> None:
+                    priority: int = 0,
+                    tuned: bool = False,
+                    schedule_id: str = "") -> None:
         """One request's future resolved; record its outcome."""
         if status == "ok":
             self._completed.inc()
@@ -186,6 +195,10 @@ class ServerStats:
             self._cache_hits.inc()
         else:
             self._cache_misses.inc()
+        if tuned:
+            self._tuned.inc()
+        if schedule_id:
+            self._schedules.inc(schedule_id)
         if verified is not None:
             self._verified.inc()
             if not verified:
@@ -203,6 +216,11 @@ class ServerStats:
         """Attach circuit-breaker transition counts (executor calls)."""
         with self._lock:
             self.breaker_transitions = dict(transitions)
+
+    def set_tuning_snapshot(self, snap: Dict[str, int]) -> None:
+        """Attach the tuning-DB counter snapshot (executor calls)."""
+        with self._lock:
+            self.tuning_snapshot = dict(snap)
 
     # -- legacy attribute surface over the registry ---------------------
 
@@ -275,6 +293,16 @@ class ServerStats:
     def cache_misses(self) -> int:
         """Requests whose compile artifact was a cache miss."""
         return self._cache_misses.value
+
+    @property
+    def tuned(self) -> int:
+        """Requests served under a tuning-DB schedule."""
+        return self._tuned.value
+
+    @property
+    def schedule_hist(self) -> Dict[str, int]:
+        """schedule id -> ok-response count served under it."""
+        return self._schedules.as_dict()
 
     @property
     def bucket_real_units(self) -> int:
@@ -395,6 +423,8 @@ class ServerStats:
         with self._lock:
             snap = self.cache_snapshot
             transitions = dict(self.breaker_transitions)
+            tuning = dict(self.tuning_snapshot) \
+                if self.tuning_snapshot is not None else None
         out = {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -433,6 +463,9 @@ class ServerStats:
                                sorted(self.lane_completed.items())},
             "backpressure_waits": self.backpressure_waits,
             "drain_expired": self.drain_expired,
+            "tuned": self.tuned,
+            "schedule_hist": {str(k): v for k, v in
+                              sorted(self.schedule_hist.items())},
         }
         out["cache_hit_rate"] = (
             out["request_cache_hits"] /
@@ -457,4 +490,6 @@ class ServerStats:
                 "guard_misses": snap.guard_misses, "size": snap.size,
                 "capacity": snap.capacity, "hit_rate": snap.hit_rate,
             }
+        if tuning is not None:
+            out["tune_db"] = tuning
         return out

@@ -166,6 +166,14 @@ def _compile_events(run: Dict[str, object]) -> int:
     return int(cache.get("misses", 0)) + int(cache.get("guard_misses", 0))
 
 
+def _tune_searches(run: Dict[str, object]) -> int:
+    """Tuning-time searches a serve run performed (must stay 0: the
+    server only ever *reads* the tuning DB; searching is offline work
+    for ``tools/tune``)."""
+    tdb = run["server"].get("tune_db") or {}
+    return int(tdb.get("searches", 0))
+
+
 def bench_workload_dynamic(name: str, args: argparse.Namespace,
                            lengths: List[int]) -> Dict[str, object]:
     """One workload under mixed sequence lengths: family vs concrete keys.
@@ -182,7 +190,8 @@ def bench_workload_dynamic(name: str, args: argparse.Namespace,
                   batch_wait_s=args.batch_wait_ms / 1e3,
                   queue_capacity=args.queue_capacity,
                   request_timeout_s=args.timeout_s,
-                  verify=("off" if args.no_verify else "batch"))
+                  verify=("off" if args.no_verify else "batch"),
+                  tuning_db_path=args.tune_db)
     family_policy = ServePolicy(dynamic_shapes=True,
                                 bucket_min=args.bucket_min, **common)
     concrete_policy = ServePolicy(dynamic_shapes=False, **common)
@@ -316,7 +325,8 @@ def bench_workload(name: str, args: argparse.Namespace
     common = dict(workers=args.workers, batch_wait_s=args.batch_wait_ms / 1e3,
                   queue_capacity=args.queue_capacity,
                   request_timeout_s=args.timeout_s,
-                  verify=("off" if args.no_verify else "batch"))
+                  verify=("off" if args.no_verify else "batch"),
+                  tuning_db_path=args.tune_db)
     batched_policy = ServePolicy(max_batch_size=args.max_batch, **common)
     baseline_policy = ServePolicy(max_batch_size=1, **common)
 
@@ -397,6 +407,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "concrete/family compile ratio is below "
                              "this (and require strictly higher family "
                              "batch occupancy)")
+    parser.add_argument("--tune-db", type=str, default=None,
+                        help="read-only tuning database root "
+                             "(tools/tune output): serve runs pick up "
+                             "best-known schedules, and the run FAILS "
+                             "if any tuning-time search happens on the "
+                             "hot path (warm-serve gate)")
     parser.add_argument("--out", type=str,
                         default="results/serve_bench.json")
     args = parser.parse_args(argv)
@@ -488,6 +504,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             for mode in ("family", "concrete"):
                 e = entry[mode]
                 failures += e["dropped"] + e["diverged"]
+                if args.tune_db is not None:
+                    failures += _tune_searches(e)
                 print(f"  {mode:<9} {e['throughput_rps']:8.1f} req/s  "
                       f"compiles {e['compiles']:3d} "
                       f"({e['compiles_per_1k_requests']:6.1f}/1k)  "
@@ -525,6 +543,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"mean batch {e['mean_batch_requests']:.2f}  "
                   f"cache hit {e['server']['cache_hit_rate']:.0%}  "
                   f"dropped {e['dropped']}  diverged {e['diverged']}")
+            if args.tune_db is not None:
+                searches = _tune_searches(e)
+                failures += searches
+                print(f"            tuned {e['server'].get('tuned', 0)}"
+                      f"  schedules "
+                      f"{e['server'].get('schedule_hist', {})}  "
+                      f"tuning-time searches {searches}"
+                      + ("  FAIL: hot path searched" if searches else ""))
         print(f"  speedup   {entry['throughput_speedup']:.2f}x")
 
     best = max((e["throughput_speedup"] for e in report["workloads"]),
